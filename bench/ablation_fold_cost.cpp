@@ -1,0 +1,57 @@
+// Ablation: the collect / profitability cost model of §3.2-§3.3 and §3.5
+// for every 2-D/3-D benchmark stencil and unrolling factors m = 2..4, plus
+// measured GFLOP/s of the folded kernel per m-equivalent (via Ours vs Ours2).
+//
+// The 2D9P row with m = 2 must read 90 / 25 / 9 with profitability 3.6 / 10
+// (asserted by tests/fold_test.cpp); GB shows the smallest vectorized gain —
+// the paper's "not prominent" observation, caused by its larger counterpart
+// basis.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "fold/cost_model.hpp"
+
+int main() {
+  using namespace sf;
+  Table t({"Stencil", "m", "|C(E)|", "|C(E_L)|", "|C(E_L)| vec", "basis",
+           "bias", "P scalar", "P vec"});
+  for (const auto& spec : all_presets()) {
+    if (spec.dims == 1) continue;
+    for (int m = 2; m <= 4; ++m) {
+      if (spec.dims == 2) {
+        Profitability pr = profitability(spec.p2, m);
+        auto plan = plan_folding(spec.p2, m);
+        t.add_row({spec.name, std::to_string(m), std::to_string(pr.naive),
+                   std::to_string(pr.folded_scalar),
+                   std::to_string(pr.folded_vec),
+                   std::to_string(plan.basis.size()),
+                   plan.uses_impulse ? "yes" : "no",
+                   Table::num(pr.index_scalar()), Table::num(pr.index_vec())});
+      } else {
+        Profitability pr = profitability(spec.p3, m);
+        auto plan = plan_folding(spec.p3, m);
+        t.add_row({spec.name, std::to_string(m), std::to_string(pr.naive),
+                   std::to_string(pr.folded_scalar),
+                   std::to_string(pr.folded_vec),
+                   std::to_string(plan.basis.size()),
+                   plan.uses_impulse ? "yes" : "no",
+                   Table::num(pr.index_scalar()), Table::num(pr.index_vec())});
+      }
+    }
+  }
+  std::cout << "Fold cost model (collects per output point; paper 2D9P m=2: "
+               "90/25/9, P=3.6/10)\n";
+  bench::emit(t, "ablation_fold_cost");
+
+  // Shifts-reuse collects (Fig. 6): full vs reused and the reuse index.
+  Table s({"Stencil", "|C(E_F)|", "|C(E_G)|", "reuse index"});
+  for (const auto& spec : all_presets()) {
+    if (spec.dims != 2) continue;
+    ShiftsReuseCost c = shifts_reuse_cost(spec.p2);
+    s.add_row({spec.name, std::to_string(c.full), std::to_string(c.reused),
+               Table::num(c.index())});
+  }
+  std::cout << "Shifts-reuse cost (paper 2D9P: 9 / 4 = 2.25)\n";
+  bench::emit(s, "ablation_shifts_cost");
+  return 0;
+}

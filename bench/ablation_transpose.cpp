@@ -1,0 +1,104 @@
+// Ablation (paper §2.3): latency of the in-register transpose schemes.
+// The paper's claim: the two-stage Permute2f128+Unpack AVX-2 transpose (8
+// single-cycle instructions) beats alternatives; the AVX-512 8x8 runs in
+// three stages. We compare against the shuffle-first variant, a gather-based
+// transpose, and a scalar in-memory transpose, plus the cost of assembling
+// one edge vector (blend + rotate, §2.2).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/cpu.hpp"
+#include "kernels/tl_access.hpp"
+#include "simd/transpose.hpp"
+#include "simd/vecd.hpp"
+
+namespace {
+
+using sf::simd::vecd;
+
+alignas(64) double g_buf[64];
+
+void setup() { std::iota(g_buf, g_buf + 64, 1.0); }
+
+void BM_Transpose4x4_Paper2Stage(benchmark::State& state) {
+  setup();
+  vecd<4> r[4];
+  for (int i = 0; i < 4; ++i) r[i] = vecd<4>::load(g_buf + i * 4);
+  for (auto _ : state) {
+    sf::simd::transpose(r);
+    benchmark::DoNotOptimize(r[0].v);
+  }
+}
+BENCHMARK(BM_Transpose4x4_Paper2Stage);
+
+void BM_Transpose4x4_ShuffleFirst(benchmark::State& state) {
+  setup();
+  vecd<4> r[4];
+  for (int i = 0; i < 4; ++i) r[i] = vecd<4>::load(g_buf + i * 4);
+  for (auto _ : state) {
+    sf::simd::transpose_alt(r);
+    benchmark::DoNotOptimize(r[0].v);
+  }
+}
+BENCHMARK(BM_Transpose4x4_ShuffleFirst);
+
+void BM_Transpose4x4_Gather(benchmark::State& state) {
+  setup();
+  vecd<4> r[4];
+  for (auto _ : state) {
+    sf::simd::transpose_gather(g_buf, r);
+    benchmark::DoNotOptimize(r[0].v);
+  }
+}
+BENCHMARK(BM_Transpose4x4_Gather);
+
+void BM_Transpose4x4_ScalarInMemory(benchmark::State& state) {
+  setup();
+  for (auto _ : state) {
+    sf::simd::transpose_scalar(g_buf, 4);
+    benchmark::DoNotOptimize(g_buf[0]);
+  }
+}
+BENCHMARK(BM_Transpose4x4_ScalarInMemory);
+
+void BM_Transpose8x8_ThreeStage(benchmark::State& state) {
+  if (!sf::cpu_has_avx512()) {
+    state.SkipWithError("no AVX-512");
+    return;
+  }
+  setup();
+  vecd<8> r[8];
+  for (int i = 0; i < 8; ++i) r[i] = vecd<8>::load(g_buf + i * 8);
+  for (auto _ : state) {
+    sf::simd::transpose(r);
+    benchmark::DoNotOptimize(r[0].v);
+  }
+}
+BENCHMARK(BM_Transpose8x8_ThreeStage);
+
+void BM_EdgeVectorAssembly(benchmark::State& state) {
+  // One blend + one rotate: the §2.2 cost of each vector-set edge vector.
+  setup();
+  vecd<4> cur = vecd<4>::load(g_buf);
+  vecd<4> prev = vecd<4>::load(g_buf + 4);
+  for (auto _ : state) {
+    auto v = sf::simd::rotate_r1(sf::simd::blend_last(cur, prev));
+    benchmark::DoNotOptimize(v.v);
+  }
+}
+BENCHMARK(BM_EdgeVectorAssembly);
+
+void BM_UnalignedLoadPair(benchmark::State& state) {
+  // The multiple-loads alternative for the same edge vector.
+  setup();
+  for (auto _ : state) {
+    auto v = vecd<4>::loadu(g_buf + 3);
+    benchmark::DoNotOptimize(v.v);
+  }
+}
+BENCHMARK(BM_UnalignedLoadPair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Figure 10: scalability of the tiled methods from 1 core up to the
+// machine's hardware threads, for all nine benchmarks. One table per
+// stencil, one row per core count, matching the paper's nine panels.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  using namespace sf;
+  const bool full = bench_full();
+  const int maxthreads = hardware_threads();
+  std::vector<int> cores;
+  for (int c = 1; c < maxthreads; c *= 2) cores.push_back(c);
+  cores.push_back(maxthreads);
+
+  struct M {
+    const char* name;
+    Method method;
+    Isa isa;
+  };
+  const std::vector<M> methods = {
+      {"sdsl", Method::DLT, Isa::Avx2},
+      {"tessellation", Method::Naive, Isa::Auto},
+      {"our", Method::Ours, Isa::Avx2},
+      {"our-2step", Method::Ours2, Isa::Avx2},
+      {"our-2step-avx512", Method::Ours2, Isa::Avx512},
+  };
+
+  for (const auto& spec : all_presets()) {
+    Table t({"cores", "sdsl", "tessellation", "our", "our-2step",
+             "our-2step-avx512"});
+    std::cout << "Figure 10 (" << spec.name << "): GFLOP/s vs cores\n";
+    for (int c : cores) {
+      std::vector<std::string> row{std::to_string(c)};
+      for (const auto& m : methods) {
+        if (m.isa == Isa::Avx512 && !cpu_has_avx512()) {
+          row.push_back("-");
+          continue;
+        }
+        ProblemConfig cfg;
+        cfg.preset = spec.id;
+        cfg.method = m.method;
+        cfg.isa = m.isa;
+        cfg.tiled = true;
+        cfg.tile_opts.threads = c;
+        if (full) {
+          cfg.nx = spec.full_size[0];
+          cfg.ny = spec.dims >= 2 ? spec.full_size[1] : 1;
+          cfg.nz = spec.dims >= 3 ? spec.full_size[2] : 1;
+          cfg.tsteps = static_cast<int>(spec.full_tsteps);
+        }
+        cfg.tile_opts.method = cfg.method;
+        cfg.tile_opts.isa = cfg.isa;
+        row.push_back(Table::num(run_problem(cfg).gflops));
+      }
+      t.add_row(row);
+    }
+    bench::emit(t, std::string("fig10_") + spec.name);
+  }
+  return 0;
+}

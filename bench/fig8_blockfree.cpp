@@ -1,0 +1,58 @@
+// Figure 8: single-thread, blocking-free absolute performance across problem
+// sizes spanning L1 cache to main memory, for two total-time-step regimes.
+// Methods: multiple loads, data reorganization, DLT, Our, Our (2 steps).
+//
+// Expected shape (paper): Our(2 steps) > Our > DLT > data-reorg > multiple
+// loads at most sizes; DLT competitive only at small sizes / long T where
+// its global transpose amortizes; everything drops moving L1 -> memory.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  using namespace sf;
+  const bool full = bench_full();
+  const auto sizes = bench::size_sweep_1d(full);
+  const std::vector<std::pair<std::string, Method>> methods = {
+      {"multiple-loads", Method::MultipleLoads},
+      {"data-reorg", Method::DataReorg},
+      {"dlt", Method::DLT},
+      {"our", Method::Ours},
+      {"our-2step", Method::Ours2},
+  };
+  const std::vector<int> tregimes = full ? std::vector<int>{1000, 10000}
+                                         : std::vector<int>{50, 500};
+
+  for (int tsteps : tregimes) {
+    Table t({"n", "level", "multiple-loads", "data-reorg", "dlt", "our",
+             "our-2step", "best"});
+    std::cout << "Figure 8 (" << (full ? "paper" : "fast") << " sizes), T = "
+              << tsteps << ", 1D-Heat, single thread\n";
+    for (long n : sizes) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(n));
+      row.push_back(bench::storage_level(2.0 * static_cast<double>(n) * 8));
+      double best = 0;
+      std::string bestname;
+      for (const auto& [name, m] : methods) {
+        ProblemConfig cfg;
+        cfg.preset = Preset::Heat1D;
+        cfg.method = m;
+        cfg.nx = n;
+        // Keep per-point work constant-ish: large sizes get fewer steps in
+        // fast mode so the whole sweep stays quick.
+        cfg.tsteps = tsteps;
+        RunResult r = bench::measure(cfg);
+        row.push_back(Table::num(r.gflops));
+        if (r.gflops > best) {
+          best = r.gflops;
+          bestname = name;
+        }
+      }
+      row.push_back(bestname);
+      t.add_row(row);
+    }
+    bench::emit(t, "fig8_blockfree_T" + std::to_string(tsteps));
+  }
+  return 0;
+}

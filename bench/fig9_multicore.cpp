@@ -1,0 +1,61 @@
+// Figure 9: multicore cache-blocking experiments over all nine Table-1
+// stencils. Methods: SDSL-like (DLT layout + split tiling), Tessellation
+// (split tiling + compiler vectorization), Our (register-transpose layout +
+// tiling), Our (2 steps) (+ temporal folding), and the AVX-512 gain on the
+// folded method. Speedups are relative to SDSL (or Tessellation where SDSL
+// does not support the benchmark, as in the paper).
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  using namespace sf;
+  const bool full = bench_full();
+  struct M {
+    const char* name;
+    Method method;
+    Isa isa;
+  };
+  const std::vector<M> methods = {
+      {"sdsl", Method::DLT, Isa::Avx2},
+      {"tessellation", Method::Naive, Isa::Auto},
+      {"our", Method::Ours, Isa::Avx2},
+      {"our-2step", Method::Ours2, Isa::Avx2},
+      {"our-2step-avx512", Method::Ours2, Isa::Avx512},
+  };
+
+  Table t({"Stencil", "sdsl", "tessellation", "our", "our-2step",
+           "our-2step-avx512", "speedup(our2/base)"});
+  std::cout << "Figure 9: multicore cache-blocked GFLOP/s ("
+            << (full ? "paper" : "fast") << " sizes, " << hardware_threads()
+            << " threads)\n";
+  for (const auto& spec : all_presets()) {
+    std::vector<std::string> row{spec.name};
+    double base = 0, our2 = 0;
+    for (const auto& m : methods) {
+      if (m.isa == Isa::Avx512 && !cpu_has_avx512()) {
+        row.push_back("-");
+        continue;
+      }
+      ProblemConfig cfg;
+      cfg.preset = spec.id;
+      cfg.method = m.method;
+      cfg.isa = m.isa;
+      cfg.tiled = true;
+      if (full) {
+        cfg.nx = spec.full_size[0];
+        cfg.ny = spec.dims >= 2 ? spec.full_size[1] : 1;
+        cfg.nz = spec.dims >= 3 ? spec.full_size[2] : 1;
+        cfg.tsteps = static_cast<int>(spec.full_tsteps);
+      }
+      RunResult r = bench::measure(cfg);
+      row.push_back(Table::num(r.gflops));
+      if (base == 0) base = r.gflops;  // first column (sdsl) is the base
+      if (m.method == Method::Ours2 && m.isa == Isa::Avx2) our2 = r.gflops;
+    }
+    row.push_back(Table::num(our2 / base) + "x");
+    t.add_row(row);
+  }
+  bench::emit(t, "fig9_multicore");
+  return 0;
+}

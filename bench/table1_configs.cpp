@@ -1,0 +1,30 @@
+// Table 1: parameter description for the stencils used in experiments.
+// Prints both the paper's configuration and the scaled-down fast-run
+// configuration this harness uses by default (SF_BENCH_FULL=1 selects the
+// paper sizes everywhere).
+#include <iostream>
+#include <sstream>
+
+#include "bench_util/harness.hpp"
+#include "stencil/presets.hpp"
+
+int main() {
+  using namespace sf;
+  Table t({"Type", "Pts", "Problem Size (paper)", "T", "Blocking", "Fast size",
+           "Fast T"});
+  for (const auto& s : all_presets()) {
+    auto dims = [&](const std::array<long, 3>& v) {
+      std::ostringstream o;
+      for (int d = 0; d < s.dims; ++d) o << (d ? "x" : "") << v[static_cast<std::size_t>(d)];
+      return o.str();
+    };
+    std::ostringstream blk;
+    blk << s.block[0] << "x" << s.block[1];
+    if (s.dims == 3) blk << "x" << s.block[2];
+    t.add_row({s.name, std::to_string(s.points()), dims(s.full_size),
+               std::to_string(s.full_tsteps), blk.str(), dims(s.small_size),
+               std::to_string(s.small_tsteps)});
+  }
+  bench::emit(t, "table1_configs");
+  return 0;
+}

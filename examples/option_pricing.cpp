@@ -1,0 +1,84 @@
+// APOP: American put option pricing on a binomial lattice — the paper's
+// 1-D two-input-array benchmark.
+//
+// The benchmark kernel treats the early-exercise payoff as a linear source
+// term (out = p(V) + src(K)), which is what folding accelerates. This
+// example also runs the *exact* American put (max of continuation and
+// exercise) step by step to show how the library's pieces serve a real
+// pricing code, and reports the folded kernel's speedup on the linear part.
+//
+//   $ ./option_pricing [n] [steps]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "core/problem.hpp"
+#include "grid/grid_utils.hpp"
+#include "stencil/reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sf;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1 << 20;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  // --- Exact American put on a trinomial-style lattice (scalar). ---------
+  // V_{t}(i) = max(payoff(i), pu*V_{t+1}(i+1) + pm*V_{t+1}(i) + pd*V_{t+1}(i-1))
+  const double strike = 100.0, s0 = 100.0, sigma = 0.2, rate = 0.03;
+  const double dt = 1.0 / steps;
+  const double u = std::exp(sigma * std::sqrt(dt));
+  const double disc = std::exp(-rate * dt);
+  const double pu = 0.5 * disc, pd = 0.5 * disc;  // simplified risk-neutral
+
+  const int demo_n = 4001;  // small exact lattice
+  std::vector<double> price(demo_n), payoff(demo_n), v(demo_n), w(demo_n);
+  for (int i = 0; i < demo_n; ++i) {
+    price[static_cast<std::size_t>(i)] =
+        s0 * std::pow(u, i - demo_n / 2);
+    payoff[static_cast<std::size_t>(i)] =
+        std::max(strike - price[static_cast<std::size_t>(i)], 0.0);
+    v[static_cast<std::size_t>(i)] = payoff[static_cast<std::size_t>(i)];
+  }
+  for (int t = 0; t < std::min(steps, 200); ++t) {
+    for (int i = 1; i + 1 < demo_n; ++i)
+      w[static_cast<std::size_t>(i)] = std::max(
+          payoff[static_cast<std::size_t>(i)],
+          pu * v[static_cast<std::size_t>(i + 1)] + pd * v[static_cast<std::size_t>(i - 1)]);
+    w[0] = payoff[0];
+    w[static_cast<std::size_t>(demo_n - 1)] = 0.0;
+    std::swap(v, w);
+  }
+  std::cout << "Exact American put (lattice " << demo_n << "): V(S0) = "
+            << v[static_cast<std::size_t>(demo_n / 2)] << "\n";
+
+  // --- The APOP throughput benchmark (linear part, folded kernel). -------
+  ProblemConfig cfg;
+  cfg.preset = Preset::Apop;
+  cfg.method = Method::Ours2;
+  cfg.nx = n;
+  cfg.tsteps = steps;
+  cfg.tiled = true;
+  RunResult ours = run_problem(cfg);
+
+  cfg.method = Method::MultipleLoads;
+  cfg.tiled = false;
+  RunResult base = run_problem(cfg);
+
+  std::cout << "APOP kernel, n = " << n << ", T = " << steps << ":\n"
+            << "  our (2-step, tiled): " << ours.gflops << " GFLOP/s\n"
+            << "  multiple loads:      " << base.gflops << " GFLOP/s\n"
+            << "  speedup:             " << ours.gflops / base.gflops << "x\n";
+
+  // Verify the folded two-array kernel on a small instance.
+  ProblemConfig v2 = cfg;
+  v2.method = Method::Ours2;
+  v2.nx = 10000;
+  v2.tsteps = 20;
+  v2.tiled = true;
+  RunResult check = run_verified(v2);
+  std::cout << "  folded-vs-reference max error (n=10000, T=20): "
+            << check.max_error << "\n";
+  return check.max_error < 1e-10 ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+#include "bench_util/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace sf::bench {
+
+RunResult measure(const ProblemConfig& cfg) {
+  const long reps = env_long("SF_BENCH_REPS", bench_full() ? 1 : 5);
+  std::vector<RunResult> rs;
+  for (long i = 0; i < std::max(1L, reps); ++i) rs.push_back(run_problem(cfg));
+  std::sort(rs.begin(), rs.end(),
+            [](const RunResult& a, const RunResult& b) { return a.seconds < b.seconds; });
+  return rs[rs.size() / 2];
+}
+
+const char* storage_level(double ws) {
+  if (ws <= 32.0 * 1024) return "L1";
+  if (ws <= 1024.0 * 1024) return "L2";
+  if (ws <= 24.75 * 1024 * 1024) return "L3";
+  return "Mem";
+}
+
+std::vector<long> size_sweep_1d(bool full) {
+  // Working set = 2 arrays of n doubles; levels per storage_level().
+  if (full)
+    return {1000,   2000,    8000,    30000,   60000,    250000,
+            500000, 1000000, 1500000, 4000000, 10240000, 20000000};
+  return {1000, 8000, 30000, 250000, 1000000, 4000000};
+}
+
+void emit(const Table& t, const std::string& name) {
+  std::cout << t.str() << std::flush;
+  std::ofstream csv(name + ".csv");
+  csv << t.csv();
+  std::cout << "(csv written to ./" << name << ".csv)\n\n";
+}
+
+}  // namespace sf::bench

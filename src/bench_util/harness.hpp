@@ -1,0 +1,29 @@
+// Shared scaffolding for the figure/table reproduction harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/problem.hpp"
+
+namespace sf::bench {
+
+/// Median-of-reps measurement of one configuration (reps from SF_BENCH_REPS,
+/// default 3 fast / 1 full).
+RunResult measure(const ProblemConfig& cfg);
+
+/// Storage-level classification by working-set bytes (two grids), using the
+/// cache sizes of the machine the paper targets (32 KB / 1 MB / 24.75 MB);
+/// these labels organize Fig. 8 and Table 2 rows.
+const char* storage_level(double working_set_bytes);
+
+/// 1-D problem sizes sweeping L1 -> memory (grows by ~4x per point).
+std::vector<long> size_sweep_1d(bool full);
+
+/// Prints a table and also writes it as CSV next to the binary
+/// (<name>.csv) for plotting.
+void emit(const Table& t, const std::string& name);
+
+}  // namespace sf::bench

@@ -1,0 +1,28 @@
+// Runtime CPU feature detection used to pick the widest usable SIMD path.
+#pragma once
+
+#include <string>
+
+namespace sf {
+
+/// Instruction-set level a kernel is implemented for.
+enum class Isa { Scalar, Avx2, Avx512, Auto };
+
+/// True if the running CPU supports AVX2 + FMA.
+bool cpu_has_avx2();
+
+/// True if the running CPU supports AVX-512F (and DQ, which our kernels use).
+bool cpu_has_avx512();
+
+/// Resolves Isa::Auto to the widest supported level; passes others through.
+Isa resolve_isa(Isa requested);
+
+/// SIMD width in doubles for an ISA level (1, 4, or 8).
+int isa_width(Isa isa);
+
+const char* isa_name(Isa isa);
+
+/// Number of hardware threads (OpenMP max threads).
+int hardware_threads();
+
+}  // namespace sf

@@ -1,0 +1,25 @@
+// Environment-variable knobs for the benchmark harness.
+//
+// SF_BENCH_FULL=1   use the paper's Table-1 problem sizes (slow, minutes per
+//                   bench); default is a scaled-down sweep that finishes fast.
+// SF_BENCH_REPS=n   override the measurement repetition count.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace sf {
+
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) != "0" && std::string(v) != "";
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atol(v) : fallback;
+}
+
+inline bool bench_full() { return env_flag("SF_BENCH_FULL"); }
+
+}  // namespace sf

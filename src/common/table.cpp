@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sf {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (auto w : width) total += w + 2;
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sf

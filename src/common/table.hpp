@@ -1,0 +1,31 @@
+// Plain-text table printer used by the figure/table benchmark harnesses to
+// emit rows in the same shape as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sf {
+
+/// Column-aligned ASCII table. Collect rows, then print once.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+
+  /// Renders the table to a string with column padding and a rule under the
+  /// header.
+  std::string str() const;
+
+  /// Renders as CSV (for plotting scripts).
+  std::string csv() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace sf

@@ -1,0 +1,28 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sf {
+
+/// Monotonic wall-clock timer with second resolution as double.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Prevents the compiler from optimizing away a computed value.
+inline void do_not_optimize(const void* p) {
+  asm volatile("" : : "g"(p) : "memory");
+}
+
+}  // namespace sf

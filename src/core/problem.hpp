@@ -1,0 +1,51 @@
+// Public entry point: configure a benchmark stencil run, execute it, get
+// timing/GFLOP/s. This is the API the examples and the figure/table
+// harnesses use.
+#pragma once
+
+#include <string>
+
+#include "common/cpu.hpp"
+#include "kernels/api.hpp"
+#include "stencil/presets.hpp"
+#include "tiling/split_tiling.hpp"
+
+namespace sf {
+
+struct ProblemConfig {
+  Preset preset = Preset::Heat2D;
+  Method method = Method::Ours2;
+  Isa isa = Isa::Auto;
+
+  long nx = 0, ny = 1, nz = 1;  // 0: use the preset's default (small) size
+  int tsteps = 0;               // 0: preset default
+
+  bool tiled = false;  // temporal split tiling + OpenMP
+  TiledOptions tile_opts{};
+
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  double seconds = 0;
+  double gflops = 0;       // useful flops: taps-based, identical across methods
+  double max_error = -1;   // vs naive reference, if verification requested
+  long points = 0;
+  int tsteps = 0;
+};
+
+/// Fills in defaulted sizes/steps from the preset (paper sizes with
+/// SF_BENCH_FULL=1 semantics are the caller's choice).
+ProblemConfig resolve(ProblemConfig cfg);
+
+/// Runs the configured problem once and reports wall time + GFLOP/s.
+RunResult run_problem(const ProblemConfig& cfg);
+
+/// Runs the problem *and* the naive reference on the same inputs; fills
+/// RunResult::max_error. Meant for smoke verification (use small sizes).
+RunResult run_verified(const ProblemConfig& cfg);
+
+/// Useful FLOPs per time step for a preset at the given size.
+double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
+
+}  // namespace sf

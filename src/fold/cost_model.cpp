@@ -1,0 +1,55 @@
+#include "fold/cost_model.hpp"
+
+#include <cmath>
+
+namespace sf {
+
+Profitability profitability(const Pattern2D& p, int m) {
+  Profitability r;
+  r.naive = naive_collect(p, m);
+  r.folded_scalar = folded_collect(p, m);
+  r.folded_vec = plan_folding(p, m).vec_collect();
+  return r;
+}
+
+Profitability profitability(const Pattern3D& p, int m) {
+  Profitability r;
+  r.naive = naive_collect(p, m);
+  r.folded_scalar = folded_collect(p, m);
+  r.folded_vec = plan_folding(p, m).vec_collect();
+  return r;
+}
+
+ShiftsReuseCost shifts_reuse_cost(const Pattern2D& p) {
+  const int r = p.radius();
+  const int h = 2 * r + 1;
+
+  // Column weight vectors of the (1-step) pattern.
+  std::vector<std::vector<double>> cols;
+  for (int dx = -r; dx <= r; ++dx) {
+    std::vector<double> col(h, 0.0);
+    for (int dy = -r; dy <= r; ++dy) col[dy + r] = p.weight_at({dy, dx});
+    cols.push_back(std::move(col));
+  }
+
+  ShiftsReuseCost c;
+  c.full = static_cast<long>(p.size());
+
+  // Moving one point to the right, the column that previously sat at offset
+  // dx is now at dx-1; its partial sum is reusable iff the weight vector at
+  // dx-1 equals the one computed at dx. Count the columns that must be
+  // folded fresh, plus one accumulation pair.
+  long fresh = 0;
+  for (int i = 0; i < h; ++i) {
+    const bool reusable = i + 1 < h && cols[i] == cols[i + 1];
+    if (!reusable) {
+      long nz = 0;
+      for (double v : cols[i]) nz += v != 0.0;
+      fresh += nz;
+    }
+  }
+  c.reused = fresh + 1;
+  return c;
+}
+
+}  // namespace sf

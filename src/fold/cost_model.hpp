@@ -1,0 +1,64 @@
+// Collect / profitability cost model (paper §3.2, Eq. 1-3).
+//
+// The *collect* C(E) of an expression is the multiset of ⟨grid point, weight⟩
+// pairs it evaluates; its cardinality approximates the number of arithmetic
+// instructions (add / multiply / fma). The paper's worked example for the
+// 9-point box with m = 2:
+//   |C(E)|      = 90   (naive: ten 9-tap subexpressions)
+//   |C(E_Λ)|    = 25   (scalar folding: the 5x5 folding matrix)
+//   |C(E_Λ)|    =  9   (vectorized folding with counterpart reuse)
+//   P(E, E_Λ)   = 3.6  scalar, 10 with counterpart reuse.
+// These exact values are asserted by tests/fold_test.cpp.
+#pragma once
+
+#include "fold/folding_plan.hpp"
+#include "stencil/pattern.hpp"
+
+namespace sf {
+
+/// |C(E)| for the naive m-step expansion: every grid point needed at an
+/// intermediate time is recomputed with a full stencil application, so
+/// |C(E)| = |p| * sum_{j=0}^{m-1} |p^j|.
+template <int D>
+long naive_collect(const Pattern<D>& p, int m) {
+  long apps = 0;
+  Pattern<D> cur = Pattern<D>::identity();
+  for (int j = 0; j < m; ++j) {
+    apps += static_cast<long>(cur.size());
+    cur = compose(cur, p);
+  }
+  return static_cast<long>(p.size()) * apps;
+}
+
+/// |C(E_Λ)| for scalar folding: one pair per non-zero folding-matrix entry.
+template <int D>
+long folded_collect(const Pattern<D>& p, int m) {
+  return static_cast<long>(power(p, m).size());
+}
+
+/// Profitability index P(E, E_Λ) = |C(E)| / |C(E_Λ)| (Eq. 3).
+struct Profitability {
+  long naive;
+  long folded_scalar;
+  long folded_vec;  // after counterpart reuse (plan.vec_collect())
+  double index_scalar() const { return double(naive) / double(folded_scalar); }
+  double index_vec() const { return double(naive) / double(folded_vec); }
+};
+
+Profitability profitability(const Pattern2D& p, int m);
+Profitability profitability(const Pattern3D& p, int m);
+
+/// Shifts-reuse collects for a 1-step 2-D stencil (paper §3.4, Fig. 6):
+/// the first point of a row costs every ⟨grid,weight⟩ pair; subsequent
+/// points reuse all column partial sums whose weight vector is shared with
+/// a column already folded for the previous point, paying only for the
+/// newly-entering column plus one accumulation.
+struct ShiftsReuseCost {
+  long full;    // |C(E_F)|, e.g. 9 for the equal-weight 2D9P
+  long reused;  // |C(E_G)|, e.g. 4
+  double index() const { return double(full) / double(reused); }
+};
+
+ShiftsReuseCost shifts_reuse_cost(const Pattern2D& p);
+
+}  // namespace sf

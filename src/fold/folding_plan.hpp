@@ -1,0 +1,51 @@
+// Temporal computation folding plans (paper §3).
+//
+// A folding plan decomposes the m-step folding matrix Λ = pattern^m into
+//  * a small set of *basis column vectors* λ⁽ᵇ⁾ (the counterparts of §3.3
+//    that must actually be computed by vertical folding), and
+//  * *horizontal terms*: out(x) = Σ coeff · c_b(x + dx) (+ dz in 3-D),
+// using the linear-regression model of §3.5 to express every folding-matrix
+// column as an exact combination of already-chosen basis columns. The
+// original (unfolded) rows are available as a free "impulse" basis vector,
+// which realizes the bias term b_n of Eq. 7.
+#pragma once
+
+#include <vector>
+
+#include "stencil/pattern.hpp"
+
+namespace sf {
+
+/// One horizontal-folding contribution: coeff * c_{basis}(x + dx) (and plane
+/// z + dz in 3-D; dz is 0 for 2-D plans).
+struct FoldTerm {
+  int dz = 0;
+  int dx = 0;
+  int basis_id = 0;   // index into FoldingPlan::basis; -1 = impulse (raw rows)
+  double coeff = 0.0;
+};
+
+struct FoldingPlan {
+  int m = 1;       // unrolling factor (time steps folded)
+  int radius = 0;  // radius of the folded pattern = m * pattern radius
+  /// Column-weight vectors of length 2*radius+1 (indexed by dy+radius).
+  std::vector<std::vector<double>> basis;
+  std::vector<FoldTerm> terms;
+  bool uses_impulse = false;  // any term with basis_id == -1
+
+  /// Count of ⟨grid, weight⟩ pairs the vectorized folded evaluation spends
+  /// per output vector-set (paper's |C(E_Λ)| after counterpart reuse; 9 for
+  /// the symmetric 2D9P with m=2).
+  long vec_collect() const;
+};
+
+/// Plans the folding of a 2-D pattern over m steps. Columns are visited from
+/// the outermost dx inward (matching the paper's c1/c2/c3 numbering), each
+/// fitted against the basis chosen so far plus the impulse vector.
+FoldingPlan plan_folding(const Pattern2D& p, int m);
+
+/// Plans a 3-D folding: the folded pattern is sliced by dz; all slices share
+/// one basis (columns from every slice enter the same regression).
+FoldingPlan plan_folding(const Pattern3D& p, int m);
+
+}  // namespace sf

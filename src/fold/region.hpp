@@ -1,0 +1,77 @@
+// Frame/ring region decomposition used by the folded executors.
+//
+// A folded m-step update is only valid where the whole dependency cone of
+// intermediate time levels stays inside the interior (the Dirichlet halo
+// never advances in time). The invalid *ring* of width rho = (m-1)*r is
+// recomputed stepwise on shrinking *frames*; these helpers enumerate those
+// regions as a handful of disjoint segments / rectangles / slabs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace sf {
+
+struct Seg {
+  int a, b;  // [a, b)
+  bool empty() const { return a >= b; }
+};
+
+struct Rect {
+  int y0, y1, x0, x1;
+  bool empty() const { return y0 >= y1 || x0 >= x1; }
+};
+
+struct Box {
+  int z0, z1, y0, y1, x0, x1;
+  bool empty() const { return z0 >= z1 || y0 >= y1 || x0 >= x1; }
+};
+
+/// Points of [0,n) within distance < w of either end (disjoint segments).
+inline std::vector<Seg> frame_segs(int n, int w) {
+  std::vector<Seg> v;
+  if (w <= 0 || n <= 0) return v;
+  if (2 * w >= n) {
+    v.push_back({0, n});
+  } else {
+    v.push_back({0, w});
+    v.push_back({n - w, n});
+  }
+  return v;
+}
+
+/// Points of [0,ny) x [0,nx) within distance < w of the boundary, as at most
+/// four disjoint rectangles.
+inline std::vector<Rect> frame_rects(int ny, int nx, int w) {
+  std::vector<Rect> v;
+  if (w <= 0 || ny <= 0 || nx <= 0) return v;
+  if (2 * w >= ny || 2 * w >= nx) {
+    v.push_back({0, ny, 0, nx});
+    return v;
+  }
+  v.push_back({0, w, 0, nx});            // top
+  v.push_back({ny - w, ny, 0, nx});      // bottom
+  v.push_back({w, ny - w, 0, w});        // left
+  v.push_back({w, ny - w, nx - w, nx});  // right
+  return v;
+}
+
+/// Boundary shell of width w of a 3-D box, as at most six disjoint slabs.
+inline std::vector<Box> frame_boxes(int nz, int ny, int nx, int w) {
+  std::vector<Box> v;
+  if (w <= 0 || nz <= 0 || ny <= 0 || nx <= 0) return v;
+  if (2 * w >= nz || 2 * w >= ny || 2 * w >= nx) {
+    v.push_back({0, nz, 0, ny, 0, nx});
+    return v;
+  }
+  v.push_back({0, w, 0, ny, 0, nx});                      // z-low
+  v.push_back({nz - w, nz, 0, ny, 0, nx});                // z-high
+  v.push_back({w, nz - w, 0, w, 0, nx});                  // y-low
+  v.push_back({w, nz - w, ny - w, ny, 0, nx});            // y-high
+  v.push_back({w, nz - w, w, ny - w, 0, w});              // x-low
+  v.push_back({w, nz - w, w, ny - w, nx - w, nx});        // x-high
+  return v;
+}
+
+}  // namespace sf

@@ -1,0 +1,99 @@
+// Initialization and comparison helpers for the halo grids.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "grid/grid.hpp"
+
+namespace sf {
+
+/// Fills interior + halo with reproducible pseudo-random values in [-1, 1].
+inline void fill_random(Grid1D& g, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int i = -g.halo(); i < g.n() + g.halo(); ++i) g.at(i) = d(rng);
+}
+
+inline void fill_random(Grid2D& g, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+    for (int x = -g.halo(); x < g.nx() + g.halo(); ++x) g.at(y, x) = d(rng);
+}
+
+inline void fill_random(Grid3D& g, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (int z = -g.halo(); z < g.nz() + g.halo(); ++z)
+    for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+      for (int x = -g.halo(); x < g.nx() + g.halo(); ++x)
+        g.at(z, y, x) = d(rng);
+}
+
+/// Copies interior and halo.
+inline void copy(const Grid1D& src, Grid1D& dst) {
+  for (int i = -src.halo(); i < src.n() + src.halo(); ++i) dst.at(i) = src.at(i);
+}
+
+inline void copy(const Grid2D& src, Grid2D& dst) {
+  for (int y = -src.halo(); y < src.ny() + src.halo(); ++y)
+    for (int x = -src.halo(); x < src.nx() + src.halo(); ++x)
+      dst.at(y, x) = src.at(y, x);
+}
+
+inline void copy(const Grid3D& src, Grid3D& dst) {
+  for (int z = -src.halo(); z < src.nz() + src.halo(); ++z)
+    for (int y = -src.halo(); y < src.ny() + src.halo(); ++y)
+      for (int x = -src.halo(); x < src.nx() + src.halo(); ++x)
+        dst.at(z, y, x) = src.at(z, y, x);
+}
+
+/// Max |a-b| over the interior.
+inline double max_abs_diff(const Grid1D& a, const Grid1D& b) {
+  double m = 0;
+  for (int i = 0; i < a.n(); ++i) m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+  return m;
+}
+
+inline double max_abs_diff(const Grid2D& a, const Grid2D& b) {
+  double m = 0;
+  for (int y = 0; y < a.ny(); ++y)
+    for (int x = 0; x < a.nx(); ++x)
+      m = std::max(m, std::fabs(a.at(y, x) - b.at(y, x)));
+  return m;
+}
+
+inline double max_abs_diff(const Grid3D& a, const Grid3D& b) {
+  double m = 0;
+  for (int z = 0; z < a.nz(); ++z)
+    for (int y = 0; y < a.ny(); ++y)
+      for (int x = 0; x < a.nx(); ++x)
+        m = std::max(m, std::fabs(a.at(z, y, x) - b.at(z, y, x)));
+  return m;
+}
+
+/// Max |v| over the interior (for relative tolerances).
+inline double max_abs(const Grid1D& a) {
+  double m = 0;
+  for (int i = 0; i < a.n(); ++i) m = std::max(m, std::fabs(a.at(i)));
+  return m;
+}
+
+inline double max_abs(const Grid2D& a) {
+  double m = 0;
+  for (int y = 0; y < a.ny(); ++y)
+    for (int x = 0; x < a.nx(); ++x) m = std::max(m, std::fabs(a.at(y, x)));
+  return m;
+}
+
+inline double max_abs(const Grid3D& a) {
+  double m = 0;
+  for (int z = 0; z < a.nz(); ++z)
+    for (int y = 0; y < a.ny(); ++y)
+      for (int x = 0; x < a.nx(); ++x) m = std::max(m, std::fabs(a.at(z, y, x)));
+  return m;
+}
+
+}  // namespace sf

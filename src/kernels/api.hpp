@@ -1,0 +1,47 @@
+// Kernel registry: one entry per (method, ISA, dimensionality).
+//
+// Every kernel advances a Jacobi problem `tsteps` steps and leaves the final
+// state in grid `a` (grid `b` is scratch of identical shape/halo). Halos are
+// Dirichlet and never written. All kernels accept the stencil pattern at
+// runtime, so the same code serves every Table-1 benchmark.
+#pragma once
+
+#include <string>
+
+#include "common/cpu.hpp"
+#include "grid/grid.hpp"
+#include "stencil/pattern.hpp"
+
+namespace sf {
+
+/// The vectorization/folding strategies compared throughout the paper.
+enum class Method {
+  Naive,          // scalar loops (compiler may auto-vectorize)
+  MultipleLoads,  // one unaligned vector load per tap
+  DataReorg,      // aligned loads + in-register shifts
+  DLT,            // dimension-lifting transpose (Henretty)
+  Ours,           // paper's register-transpose layout, 1-step
+  Ours2,          // + temporal computation folding, m = 2
+};
+
+const char* method_name(Method m);
+
+/// 1-D kernels optionally take a time-invariant source: step = p(A)+src(K)
+/// (the APOP benchmark; src/k are null for the other stencils).
+using Run1D = void (*)(const Pattern1D& p, Grid1D& a, Grid1D& b,
+                       const Pattern1D* src, const Grid1D* k, int tsteps);
+using Run2D = void (*)(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+using Run3D = void (*)(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+
+/// Returns the kernel for (method, isa); throws std::invalid_argument for
+/// combinations that do not exist (e.g. DLT at scalar width).
+Run1D kernel1d(Method m, Isa isa);
+Run2D kernel2d(Method m, Isa isa);
+Run3D kernel3d(Method m, Isa isa);
+
+/// Halo width a method needs for radius-r patterns with `tsteps` folding:
+/// 2r for the folded methods (m = 2), r otherwise — plus the grids must be
+/// allocated with at least this halo.
+int required_halo(Method m, int pattern_radius);
+
+}  // namespace sf

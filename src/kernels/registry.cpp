@@ -1,0 +1,26 @@
+#include <stdexcept>
+
+#include "kernels/api.hpp"
+
+namespace sf {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::Naive: return "naive";
+    case Method::MultipleLoads: return "multiple-loads";
+    case Method::DataReorg: return "data-reorg";
+    case Method::DLT: return "dlt";
+    case Method::Ours: return "ours";
+    case Method::Ours2: return "ours-2step";
+  }
+  return "?";
+}
+
+int required_halo(Method m, int pattern_radius) {
+  // 8 covers the widest vector the data-reorg / edge-assembly paths may
+  // touch beyond the interior; folded methods read 2r of *valid* halo.
+  const int fold = m == Method::Ours2 ? 2 : 1;
+  return std::max(8, fold * pattern_radius);
+}
+
+}  // namespace sf

@@ -1,0 +1,69 @@
+#include "layout/dlt_layout.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace sf {
+
+void row_to_dlt(double* row, int n, int w, double* scratch) {
+  if (w <= 1) return;
+  const int L = n / w;
+  const int n0 = L * w;
+  for (int i = 0; i < n0; ++i) scratch[(i % L) * w + (i / L)] = row[i];
+  std::memcpy(row, scratch, static_cast<std::size_t>(n0) * sizeof(double));
+}
+
+void row_from_dlt(double* row, int n, int w, double* scratch) {
+  if (w <= 1) return;
+  const int L = n / w;
+  const int n0 = L * w;
+  for (int i = 0; i < n0; ++i) scratch[i] = row[(i % L) * w + (i / L)];
+  std::memcpy(row, scratch, static_cast<std::size_t>(n0) * sizeof(double));
+}
+
+namespace {
+std::vector<double>& tls_scratch(std::size_t n) {
+  thread_local std::vector<double> s;
+  if (s.size() < n) s.resize(n);
+  return s;
+}
+}  // namespace
+
+void grid_to_dlt(Grid1D& g, int w) {
+  row_to_dlt(g.data(), g.n(), w, tls_scratch(g.n()).data());
+}
+
+void grid_from_dlt(Grid1D& g, int w) {
+  row_from_dlt(g.data(), g.n(), w, tls_scratch(g.n()).data());
+}
+
+// 2-D/3-D transforms include halo rows/planes: kernels read y/z-neighbours
+// of boundary rows through the lifted index map, so those rows must be
+// lifted too.
+void grid_to_dlt(Grid2D& g, int w) {
+  auto& s = tls_scratch(static_cast<std::size_t>(g.nx()));
+  for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+    row_to_dlt(g.row(y), g.nx(), w, s.data());
+}
+
+void grid_from_dlt(Grid2D& g, int w) {
+  auto& s = tls_scratch(static_cast<std::size_t>(g.nx()));
+  for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+    row_from_dlt(g.row(y), g.nx(), w, s.data());
+}
+
+void grid_to_dlt(Grid3D& g, int w) {
+  auto& s = tls_scratch(static_cast<std::size_t>(g.nx()));
+  for (int z = -g.halo(); z < g.nz() + g.halo(); ++z)
+    for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+      row_to_dlt(g.row(z, y), g.nx(), w, s.data());
+}
+
+void grid_from_dlt(Grid3D& g, int w) {
+  auto& s = tls_scratch(static_cast<std::size_t>(g.nx()));
+  for (int z = -g.halo(); z < g.nz() + g.halo(); ++z)
+    for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+      row_from_dlt(g.row(z, y), g.nx(), w, s.data());
+}
+
+}  // namespace sf

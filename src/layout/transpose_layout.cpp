@@ -1,0 +1,23 @@
+#include "layout/transpose_layout.hpp"
+
+#include <stdexcept>
+
+namespace sf {
+
+namespace {
+template <class G>
+void dispatch(G& g, int w) {
+  switch (w) {
+    case 1: break;
+    case 4: grid_transpose_layout<4>(g); break;
+    case 8: grid_transpose_layout<8>(g); break;
+    default: throw std::invalid_argument("unsupported SIMD width");
+  }
+}
+}  // namespace
+
+void apply_transpose_layout(Grid1D& g, int w) { dispatch(g, w); }
+void apply_transpose_layout(Grid2D& g, int w) { dispatch(g, w); }
+void apply_transpose_layout(Grid3D& g, int w) { dispatch(g, w); }
+
+}  // namespace sf

@@ -1,0 +1,55 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace sf {
+
+Mat Mat::transposed() const {
+  Mat t(c_, r_);
+  for (int i = 0; i < r_; ++i)
+    for (int j = 0; j < c_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Mat operator*(const Mat& a, const Mat& b) {
+  Mat r(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) r(i, j) += aik * b(k, j);
+    }
+  return r;
+}
+
+bool solve_gauss(Mat a, std::vector<double> b, std::vector<double>& x,
+                 double tol) {
+  const int n = a.rows();
+  if (n != a.cols() || static_cast<int>(b.size()) != n) return false;
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    for (int i = col + 1; i < n; ++i)
+      if (std::fabs(a(i, col)) > std::fabs(a(piv, col))) piv = i;
+    if (std::fabs(a(piv, col)) < tol) return false;
+    if (piv != col) {
+      for (int j = 0; j < n; ++j) std::swap(a(piv, j), a(col, j));
+      std::swap(b[piv], b[col]);
+    }
+    for (int i = col + 1; i < n; ++i) {
+      const double f = a(i, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (int j = col; j < n; ++j) a(i, j) -= f * a(col, j);
+      b[i] -= f * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return true;
+}
+
+}  // namespace sf

@@ -1,0 +1,39 @@
+// Minimal dense linear algebra, sized for the folding planner's needs
+// (matrices of a few dozen rows/columns).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sf {
+
+/// Row-major dense matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols)
+      : r_(rows), c_(cols), a_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+
+  int rows() const { return r_; }
+  int cols() const { return c_; }
+
+  double& operator()(int i, int j) { return a_[static_cast<std::size_t>(i) * c_ + j]; }
+  double operator()(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * c_ + j];
+  }
+
+  Mat transposed() const;
+
+  friend Mat operator*(const Mat& a, const Mat& b);
+
+ private:
+  int r_ = 0, c_ = 0;
+  std::vector<double> a_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns false if A is numerically singular (pivot below `tol`).
+bool solve_gauss(Mat a, std::vector<double> b, std::vector<double>& x,
+                 double tol = 1e-12);
+
+}  // namespace sf

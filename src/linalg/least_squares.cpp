@@ -1,0 +1,77 @@
+#include "linalg/least_squares.hpp"
+
+#include <cmath>
+
+namespace sf {
+
+// Rank-revealing thin QR by modified Gram-Schmidt. Basis vectors that are
+// (numerically) linear combinations of earlier ones are dropped and get a
+// zero coefficient, so a degenerate basis (e.g. the impulse coinciding with
+// an existing counterpart direction) still yields the exact minimal-norm-ish
+// fit instead of a singular solve.
+LsqFit least_squares(const std::vector<std::vector<double>>& basis,
+                     const std::vector<double>& target, double tol) {
+  LsqFit fit;
+  const int k = static_cast<int>(basis.size());
+  const int n = static_cast<int>(target.size());
+  fit.coeff.assign(k, 0.0);
+
+  double tscale = 0.0;
+  for (double v : target) tscale = std::max(tscale, std::fabs(v));
+
+  auto dot = [n](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0;
+    for (int i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  if (k > 0 && tscale > 0.0) {
+    std::vector<std::vector<double>> q;       // orthonormal columns
+    std::vector<int> qcol;                    // original index of q[j]
+    Mat r(k, k);                              // r(j, i) = q_j . basis[i]
+    for (int i = 0; i < k; ++i) {
+      std::vector<double> v = basis[i];
+      const double norm0 = std::sqrt(dot(v, v));
+      if (norm0 == 0.0) continue;
+      for (std::size_t j = 0; j < q.size(); ++j) {
+        const double rj = dot(q[j], v);
+        r(static_cast<int>(j), i) = rj;
+        for (int t = 0; t < n; ++t) v[t] -= rj * q[j][t];
+      }
+      const double norm1 = std::sqrt(dot(v, v));
+      if (norm1 > 1e-10 * norm0) {
+        for (int t = 0; t < n; ++t) v[t] /= norm1;
+        r(static_cast<int>(q.size()), i) = norm1;
+        q.push_back(std::move(v));
+        qcol.push_back(i);
+      }
+    }
+
+    // y = Q^T t, then back-substitute R c = y over the independent columns.
+    const int m = static_cast<int>(q.size());
+    std::vector<double> y(m), c(m, 0.0);
+    for (int j = 0; j < m; ++j) y[j] = dot(q[static_cast<std::size_t>(j)], target);
+    for (int j = m - 1; j >= 0; --j) {
+      double s = y[j];
+      for (int l = j + 1; l < m; ++l) s -= r(j, qcol[l]) * c[l];
+      c[j] = s / r(j, qcol[j]);
+    }
+    for (int j = 0; j < m; ++j) {
+      // Prune FP noise relative to the target's scale.
+      double bscale = 0.0;
+      for (double v : basis[qcol[j]]) bscale = std::max(bscale, std::fabs(v));
+      if (std::fabs(c[j]) * bscale > 1e-9 * tscale) fit.coeff[qcol[j]] = c[j];
+    }
+  }
+
+  fit.residual_inf = 0.0;
+  for (int t = 0; t < n; ++t) {
+    double v = target[t];
+    for (int i = 0; i < k; ++i) v -= fit.coeff[i] * basis[i][t];
+    fit.residual_inf = std::max(fit.residual_inf, std::fabs(v));
+  }
+  fit.exact = tscale == 0.0 || fit.residual_inf <= tol * tscale;
+  return fit;
+}
+
+}  // namespace sf

@@ -1,0 +1,29 @@
+// Least-squares fit of a target vector against a small basis — the linear
+// regression model of paper §3.5 (Eq. 7-9), used to express a folding
+// counterpart as a weighted combination of already-computed counterparts.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace sf {
+
+struct LsqFit {
+  std::vector<double> coeff;  // one per basis vector
+  double residual_inf;        // max |target - basis*coeff|
+  bool exact;                 // residual below the exactness tolerance
+};
+
+/// Fits target ~= sum coeff[i] * basis[i] by normal equations.
+/// `basis` vectors must all have target.size() elements. An empty basis
+/// yields coeff = {} and residual = max|target|.
+///
+/// The paper's constraint "a correct result is produced" (§3.5) maps to
+/// `exact`: the fit may only be *used* for counterpart reuse when the
+/// residual vanishes, otherwise the planner recomputes the counterpart from
+/// the original square.
+LsqFit least_squares(const std::vector<std::vector<double>>& basis,
+                     const std::vector<double>& target, double tol = 1e-9);
+
+}  // namespace sf

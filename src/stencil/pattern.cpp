@@ -1,0 +1,40 @@
+#include "stencil/pattern.hpp"
+
+#include <sstream>
+
+namespace sf {
+
+namespace {
+template <int D>
+std::string to_string_impl(const Pattern<D>& p) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& t : p.taps) {
+    if (!first) out << ", ";
+    first = false;
+    out << "(";
+    for (int d = 0; d < D; ++d) {
+      if (d) out << ",";
+      out << t.off[d];
+    }
+    out << "):" << t.w;
+  }
+  out << "}";
+  return out.str();
+}
+}  // namespace
+
+std::string to_string(const Pattern1D& p) { return to_string_impl(p); }
+std::string to_string(const Pattern2D& p) { return to_string_impl(p); }
+std::string to_string(const Pattern3D& p) { return to_string_impl(p); }
+
+std::vector<double> dense_matrix(const Pattern2D& p, int r) {
+  const int n = 2 * r + 1;
+  std::vector<double> m(static_cast<std::size_t>(n) * n, 0.0);
+  for (const auto& t : p.taps)
+    m[static_cast<std::size_t>(t.off[0] + r) * n + (t.off[1] + r)] = t.w;
+  return m;
+}
+
+}  // namespace sf

@@ -1,0 +1,485 @@
+#include "tiling/split_tiling.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "fold/folding_plan.hpp"
+#include "grid/grid_utils.hpp"
+#include "kernels/kernels2d_impl.hpp"
+#include "kernels/kernels3d_impl.hpp"
+#include "kernels/tl_access.hpp"
+#include "layout/dlt_layout.hpp"
+#include "layout/transpose_layout.hpp"
+#include "simd/vecd.hpp"
+#include "stencil/reference.hpp"
+
+namespace sf {
+namespace {
+
+using detail::folded2d_advance;
+using detail::folded3d_advance;
+using detail::step_planes_dlt3d;
+using detail::step_planes_tl3d;
+using detail::step_region_ml2d;
+using detail::step_region_ml3d;
+using detail::step_rows_dlt2d;
+using detail::step_rows_tl2d;
+
+template <int W>
+using V = simd::vecd<W>;
+
+/// Geometry/schedule parameters of one wedge run.
+struct WedgePlan {
+  int n = 0;      // extent of the tiled dimension
+  int slope = 0;  // shift per super-step (m * r)
+  int tile = 0;
+  int H = 0;      // super-steps per time block
+  int threads = 1;
+  bool blocked = true;  // false: domain too small, run unblocked
+};
+
+WedgePlan make_plan(int n, int slope, int super_steps, const TiledOptions& opt,
+                    int fold_m) {
+  WedgePlan w;
+  w.n = n;
+  w.slope = slope;
+  w.threads = opt.threads > 0 ? opt.threads : omp_get_max_threads();
+  w.tile = opt.tile > 0 ? opt.tile
+                        : std::max(4 * slope, n / std::max(1, w.threads));
+  const int h_from_tile = std::max(1, (w.tile / std::max(1, slope) - 2) / 2);
+  w.H = opt.time_block > 0 ? std::max(1, opt.time_block / fold_m) : h_from_tile;
+  w.H = std::min({w.H, h_from_tile, std::max(1, super_steps)});
+  // Wedges must stay disjoint from neighbour wedge writes during a stage.
+  w.blocked = super_steps > 0 && w.tile < n && w.tile >= (2 * w.H + 1) * slope;
+  return w;
+}
+
+/// The generic wedge schedule (tiles = triangles, boundaries = inverted
+/// triangles; Jacobi parity buffers make partial-level reads exact).
+/// adv(in, out, lo, hi) performs one super-step on [lo, hi) of the tiled
+/// dimension; `cursor` tracks which buffer holds the current state.
+template <class G, class Adv>
+int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv) {
+  G* bufs[2] = {&a, &b};
+  int cursor = 0;
+  const int ntiles = (w.n + w.tile - 1) / w.tile;
+  for (int s0 = 0; s0 < super_steps; s0 += w.H) {
+    const int hb = std::min(w.H, super_steps - s0);
+#pragma omp parallel for schedule(static) num_threads(w.threads)
+    for (int kt = 0; kt < ntiles; ++kt) {
+      const int x0 = kt * w.tile;
+      const int x1 = std::min(w.n, x0 + w.tile);
+      for (int sg = 1; sg <= hb; ++sg) {
+        const int lo = x0 == 0 ? 0 : x0 + sg * w.slope;
+        const int hi = x1 == w.n ? w.n : x1 - sg * w.slope;
+        if (lo < hi)
+          adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi);
+      }
+    }
+#pragma omp parallel for schedule(static) num_threads(w.threads)
+    for (int kt = 1; kt < ntiles; ++kt) {
+      const int xc = kt * w.tile;
+      for (int sg = 1; sg <= hb; ++sg) {
+        const int lo = std::max(0, xc - sg * w.slope);
+        const int hi = std::min(w.n, xc + sg * w.slope);
+        adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi);
+      }
+    }
+    cursor = (cursor + hb) & 1;
+  }
+  return cursor;
+}
+
+// ---------------------------------------------------------------------------
+// 1-D advancers (region [lo, hi) of x)
+// ---------------------------------------------------------------------------
+
+/// One step over [lo, hi) of a transposed row: whole vector sets inside the
+/// region go vectorized, partial sets scalar through the index map.
+template <int W>
+void tl_region_step_1d(const Pattern1D& p, const Pattern1D* src,
+                       const double* kk, int n, const double* in_p,
+                       double* out_p, int lo, int hi) {
+  const int bs = W * W;
+  const int r = p.radius();
+  TLRow<W> in(in_p, n);
+  TLRow<W> kin(kk != nullptr ? kk : in_p, n);
+
+  auto scalar_span = [&](int s0, int s1) {
+    for (int i = s0; i < s1; ++i) {
+      double acc = 0;
+      for (const auto& t : p.taps) acc += t.w * in.logical(i + t.off[0]);
+      if (src != nullptr)
+        for (const auto& t : src->taps) acc += t.w * kin.logical(i + t.off[0]);
+      out_p[tl_index<W>(i, n)] = acc;
+    }
+  };
+
+  const int b0 = (lo + bs - 1) / bs;
+  const int b1 = std::min(hi / bs, in.nb);
+  if (b0 >= b1) {
+    scalar_span(lo, hi);
+    return;
+  }
+  scalar_span(lo, b0 * bs);
+  V<W> vv[3 * W];
+  V<W> vk[3 * W];
+  const int sr = src != nullptr ? src->radius() : 0;
+  for (int blk = b0; blk < b1; ++blk) {
+    for (int i = 0; i < W + 2 * r; ++i) vv[i] = in.vec(blk, i - r);
+    if (src != nullptr)
+      for (int i = 0; i < W + 2 * sr; ++i) vk[i] = kin.vec(blk, i - sr);
+    for (int j = 0; j < W; ++j) {
+      V<W> acc = V<W>::zero();
+      for (const auto& t : p.taps)
+        acc = V<W>::fma(V<W>::set1(t.w), vv[j + t.off[0] + r], acc);
+      if (src != nullptr)
+        for (const auto& t : src->taps)
+          acc = V<W>::fma(V<W>::set1(t.w), vk[j + t.off[0] + sr], acc);
+      acc.store(out_p + blk * bs + j * W);
+    }
+  }
+  scalar_span(b1 * bs, hi);
+}
+
+/// Folded (m = 2) super-step over [lo, hi) of a transposed row, with a
+/// private-buffer boundary correction where the region touches the domain
+/// ends (the folded expansion assumes the halo advances in time).
+template <int W>
+void tl_folded_region_step_1d(const Pattern1D& p, const Pattern1D& lam,
+                              const Pattern1D* src, const Pattern1D* fsrc,
+                              const double* kk, int n, const double* in_p,
+                              double* out_p, int lo, int hi) {
+  tl_region_step_1d<W>(lam, fsrc, kk, n, in_p, out_p, lo, hi);
+
+  const int r = p.radius();
+  if (r == 0) return;
+  TLRow<W> in(in_p, n);
+  TLRow<W> kin(kk != nullptr ? kk : in_p, n);
+  auto stepwise_at = [&](int i, const std::function<double(int)>& level) {
+    double acc = 0;
+    for (const auto& t : p.taps) acc += t.w * level(i + t.off[0]);
+    if (src != nullptr)
+      for (const auto& t : src->taps) acc += t.w * kin.logical(i + t.off[0]);
+    return acc;
+  };
+  for (int side = 0; side < 2; ++side) {
+    const int r0 = side == 0 ? 0 : std::max(n - r, 0);
+    const int r1 = side == 0 ? std::min(r, n) : n;
+    const int f0 = std::max(r0 - r, 0), f1 = std::min(r1 + r, n);
+    if (std::max(r0, lo) >= std::min(r1, hi)) continue;
+    std::vector<double> t1(static_cast<std::size_t>(f1 - f0));
+    std::function<double(int)> lvl0 = [&](int i) { return in.logical(i); };
+    for (int i = f0; i < f1; ++i)
+      t1[static_cast<std::size_t>(i - f0)] = stepwise_at(i, lvl0);
+    std::function<double(int)> lvl1 = [&](int i) {
+      if (i < f0 || i >= f1) return in.logical(i);  // halo never advances
+      return t1[static_cast<std::size_t>(i - f0)];
+    };
+    for (int i = std::max(r0, lo); i < std::min(r1, hi); ++i)
+      out_p[tl_index<W>(i, n)] = stepwise_at(i, lvl1);
+  }
+}
+
+template <int W>
+void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
+                  const Grid1D* k, int tsteps, const TiledOptions& opt) {
+  const int n = a.n();
+  const int r = p.radius();
+  const Method mth = opt.method;
+  const int m = mth == Method::Ours2 ? 2 : 1;
+
+  // Layout setup.
+  Grid1D kd(k != nullptr ? k->n() : 1, k != nullptr ? k->halo() : 1);
+  const double* kk = nullptr;
+  const bool tl = mth == Method::Ours || mth == Method::Ours2;
+  if (k != nullptr) {
+    copy(*k, kd);
+    kk = kd.data();
+  }
+  if (tl) {
+    grid_transpose_layout<W>(a);
+    if (k != nullptr) grid_transpose_layout<W>(kd);
+  }
+
+  const Pattern1D lam = power(p, 2);
+  Pattern1D fsrc;
+  if (src != nullptr) fsrc = compose(power_sum(p, 2), *src);
+
+  const int n_tiled = n;
+  const int slope_local = m * r;
+  const int super = tsteps / m;
+  const int rem = tsteps - super * m;
+  WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m);
+
+  auto adv = [&](const Grid1D& in, Grid1D& out, int lo, int hi) {
+    switch (mth) {
+      case Method::Ours:
+        tl_region_step_1d<W>(p, src, kk, n, in.data(), out.data(), lo, hi);
+        break;
+      case Method::Ours2:
+        tl_folded_region_step_1d<W>(p, lam, src, src != nullptr ? &fsrc : nullptr,
+                                    kk, n, in.data(), out.data(), lo, hi);
+        break;
+      default:
+        apply_pattern(p, in, out, lo, hi);
+        if (src != nullptr && k != nullptr) {
+          // Source reads must match the active layout (none here: Naive).
+          add_source(*src, *k, out, lo, hi);
+        }
+        break;
+    }
+  };
+
+  int cursor = 0;
+  if (w.blocked) {
+    cursor = wedge_schedule(a, b, w, super, adv);
+  } else {
+    // Domain too small to tile: plain full sweeps.
+    Grid1D* bufs[2] = {&a, &b};
+    for (int s = 0; s < super; ++s) {
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, n_tiled);
+      cursor ^= 1;
+    }
+  }
+  // Remainder single steps (folded runs only).
+  Grid1D* bufs[2] = {&a, &b};
+  for (int t = 0; t < rem; ++t) {
+    tl_region_step_1d<W>(p, src, kk, n, bufs[cursor]->data(),
+                         bufs[cursor ^ 1]->data(), 0, n);
+    cursor ^= 1;
+  }
+  if (cursor != 0) copy_interior(b, a);
+
+  if (tl) grid_transpose_layout<W>(a);
+}
+
+// ---------------------------------------------------------------------------
+// 2-D (tiled dimension: y, rows [lo, hi))
+// ---------------------------------------------------------------------------
+template <int W>
+void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+                  const TiledOptions& opt) {
+  const int ny = a.ny(), nx = a.nx();
+  const int r = p.radius();
+  const Method mth = opt.method;
+  const int m = mth == Method::Ours2 ? 2 : 1;
+
+  const bool tl = mth == Method::Ours;
+  const bool dlt = mth == Method::DLT;
+  if (tl) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  } else if (dlt) {
+    grid_to_dlt(a, W);
+    grid_to_dlt(b, W);
+  }
+
+  const FoldingPlan plan = mth == Method::Ours2 ? plan_folding(p, 2) : FoldingPlan{};
+  const Pattern2D lam = power(p, 2);
+
+  const int super = tsteps / m;
+  const int rem = tsteps - super * m;
+  WedgePlan w = make_plan(ny, m * r, super, opt, m);
+
+  auto adv = [&](const Grid2D& in, Grid2D& out, int lo, int hi) {
+    switch (mth) {
+      case Method::Ours:
+        step_rows_tl2d<W>(p, in, out, lo, hi);
+        break;
+      case Method::Ours2:
+        folded2d_advance<W>(p, plan, lam, in, out, /*reuse=*/true, lo, hi);
+        break;
+      case Method::DLT:
+        step_rows_dlt2d<W>(p, in, out, lo, hi);
+        break;
+      default:
+        apply_pattern(p, in, out, lo, hi, 0, nx);
+        break;
+    }
+  };
+
+  int cursor = 0;
+  if (w.blocked) {
+    cursor = wedge_schedule(a, b, w, super, adv);
+  } else {
+    Grid2D* bufs[2] = {&a, &b};
+    for (int s = 0; s < super; ++s) {
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, ny);
+      cursor ^= 1;
+    }
+  }
+  Grid2D* bufs[2] = {&a, &b};
+  for (int t = 0; t < rem; ++t) {
+    step_region_ml2d<W>(p, *bufs[cursor], *bufs[cursor ^ 1], 0, ny, 0, nx);
+    cursor ^= 1;
+  }
+  if (cursor != 0) copy_interior(b, a);
+
+  if (tl) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  } else if (dlt) {
+    grid_from_dlt(a, W);
+    grid_from_dlt(b, W);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3-D (tiled dimension: z, planes [lo, hi))
+// ---------------------------------------------------------------------------
+template <int W>
+void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+                  const TiledOptions& opt) {
+  const int nz = a.nz(), ny = a.ny(), nx = a.nx();
+  const int r = p.radius();
+  const Method mth = opt.method;
+  const int m = mth == Method::Ours2 ? 2 : 1;
+
+  const bool tl = mth == Method::Ours;
+  const bool dlt = mth == Method::DLT;
+  if (tl) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  } else if (dlt) {
+    grid_to_dlt(a, W);
+    grid_to_dlt(b, W);
+  }
+
+  const FoldingPlan plan = mth == Method::Ours2 ? plan_folding(p, 2) : FoldingPlan{};
+  const Pattern3D lam = power(p, 2);
+
+  const int super = tsteps / m;
+  const int rem = tsteps - super * m;
+  WedgePlan w = make_plan(nz, m * r, super, opt, m);
+
+  auto adv = [&](const Grid3D& in, Grid3D& out, int lo, int hi) {
+    switch (mth) {
+      case Method::Ours:
+        step_planes_tl3d<W>(p, in, out, lo, hi);
+        break;
+      case Method::Ours2: {
+        thread_local std::vector<AlignedBuffer> window;
+        folded3d_advance<W>(p, plan, lam, in, out, window, lo, hi);
+        break;
+      }
+      case Method::DLT:
+        step_planes_dlt3d<W>(p, in, out, lo, hi);
+        break;
+      default:
+        apply_pattern(p, in, out, lo, hi, 0, ny, 0, nx);
+        break;
+    }
+  };
+
+  int cursor = 0;
+  if (w.blocked) {
+    cursor = wedge_schedule(a, b, w, super, adv);
+  } else {
+    Grid3D* bufs[2] = {&a, &b};
+    for (int s = 0; s < super; ++s) {
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, nz);
+      cursor ^= 1;
+    }
+  }
+  Grid3D* bufs[2] = {&a, &b};
+  for (int t = 0; t < rem; ++t) {
+    step_region_ml3d<W>(p, *bufs[cursor], *bufs[cursor ^ 1], 0, nz, 0, ny, 0, nx);
+    cursor ^= 1;
+  }
+  if (cursor != 0) copy_interior(b, a);
+
+  if (tl) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  } else if (dlt) {
+    grid_from_dlt(a, W);
+    grid_from_dlt(b, W);
+  }
+}
+
+/// Methods with no tiled implementation fall back to their untiled kernel,
+/// so callers can sweep all methods uniformly.
+bool tiled_method(Method m) {
+  return m == Method::Naive || m == Method::DLT || m == Method::Ours ||
+         m == Method::Ours2;
+}
+
+}  // namespace
+
+void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
+               const Grid1D* k, int tsteps, const TiledOptions& opt) {
+  if (!tiled_method(opt.method)) {
+    kernel1d(opt.method, opt.isa)(p, a, b, src, k, tsteps);
+    return;
+  }
+  const int W = isa_width(resolve_isa(opt.isa));
+  const int sr = src != nullptr ? src->radius() : 0;
+  const bool bad_tl = (opt.method == Method::Ours || opt.method == Method::Ours2) &&
+                      std::max(p.radius(), sr) * (opt.method == Method::Ours2 ? 2 : 1) > W;
+  // 1-D DLT cannot be wedge-tiled: the lifted layout's seam couples column 0
+  // to column L-1 across lanes, so column tiles are not spatially local and
+  // concurrent wedges would race on the seam. SDSL-1D therefore runs the
+  // untiled lifted kernel (see DESIGN.md).
+  if (bad_tl || opt.method == Method::DLT) {
+    kernel1d(opt.method, opt.isa)(p, a, b, src, k, tsteps);
+    return;
+  }
+  switch (isa_width(resolve_isa(opt.isa))) {
+    case 8: tiled1d_impl<8>(p, a, b, src, k, tsteps, opt); break;
+    case 4: tiled1d_impl<4>(p, a, b, src, k, tsteps, opt); break;
+    default: tiled1d_impl<1>(p, a, b, src, k, tsteps, opt); break;
+  }
+}
+
+void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+               const TiledOptions& opt) {
+  if (!tiled_method(opt.method)) {
+    kernel2d(opt.method, opt.isa)(p, a, b, tsteps);
+    return;
+  }
+  // Guard rails: layout/folding preconditions fall back to the untiled path.
+  const int W = isa_width(resolve_isa(opt.isa));
+  const bool bad_tl = opt.method == Method::Ours && (p.radius() > std::min(W, 4));
+  const bool bad_dlt =
+      opt.method == Method::DLT && (a.nx() / std::max(W, 1) < 2 * p.radius() + 1);
+  const bool bad_fold =
+      opt.method == Method::Ours2 && power(p, 2).radius() > std::min(W, 4);
+  if (bad_tl || bad_dlt || bad_fold) {
+    kernel2d(opt.method, opt.isa)(p, a, b, tsteps);
+    return;
+  }
+  switch (W) {
+    case 8: tiled2d_impl<8>(p, a, b, tsteps, opt); break;
+    case 4: tiled2d_impl<4>(p, a, b, tsteps, opt); break;
+    default: tiled2d_impl<1>(p, a, b, tsteps, opt); break;
+  }
+}
+
+void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+               const TiledOptions& opt) {
+  if (!tiled_method(opt.method)) {
+    kernel3d(opt.method, opt.isa)(p, a, b, tsteps);
+    return;
+  }
+  const int W = isa_width(resolve_isa(opt.isa));
+  const bool bad_tl = opt.method == Method::Ours && (p.radius() > std::min(W, 2));
+  const bool bad_dlt =
+      opt.method == Method::DLT && (a.nx() / std::max(W, 1) < 2 * p.radius() + 1);
+  const bool bad_fold =
+      opt.method == Method::Ours2 && power(p, 2).radius() > std::min(W, 2);
+  if (bad_tl || bad_dlt || bad_fold) {
+    kernel3d(opt.method, opt.isa)(p, a, b, tsteps);
+    return;
+  }
+  switch (W) {
+    case 8: tiled3d_impl<8>(p, a, b, tsteps, opt); break;
+    case 4: tiled3d_impl<4>(p, a, b, tsteps, opt); break;
+    default: tiled3d_impl<1>(p, a, b, tsteps, opt); break;
+  }
+}
+
+}  // namespace sf

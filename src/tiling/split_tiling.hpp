@@ -1,0 +1,51 @@
+// Temporal split tiling with parallel stage execution (paper §3.4).
+//
+// The iteration space is tessellated along one spatial dimension (x in 1-D,
+// y in 2-D, z in 3-D) into *triangles* (shrinking tiles) and *inverted
+// triangles* (expanding wedges rooted at tile boundaries), exactly the 1-D
+// scheme of the paper's Figure 7. Each stage is embarrassingly parallel
+// (OpenMP); tiles never recompute a point (redundancy-free). Jacobi double
+// buffering makes the wedge reads exact: position x always holds its two
+// most recent time levels, one per parity.
+//
+// Combined with temporal computation folding (Method::Ours2) the wedge
+// slope doubles and odd time levels are never materialized — the paper's
+// "odd time steps are skipped over" (Fig. 7).
+#pragma once
+
+#include "common/cpu.hpp"
+#include "grid/grid.hpp"
+#include "kernels/api.hpp"
+#include "stencil/pattern.hpp"
+
+namespace sf {
+
+struct TiledOptions {
+  Method method = Method::Ours2;  // Naive | DLT | Ours | Ours2 are tiled;
+                                  // other methods run their untiled kernel
+  Isa isa = Isa::Auto;
+  int tile = 0;        // tile extent along the tiled dimension (0 = auto)
+  int time_block = 0;  // time steps per block (0 = auto)
+  int threads = 0;     // 0 = OpenMP default
+};
+
+/// Runs `tsteps` Jacobi steps with temporal split tiling; result in `a`.
+/// 1-D optionally takes the APOP source term.
+void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
+               const Grid1D* k, int tsteps, const TiledOptions& opt);
+void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+               const TiledOptions& opt);
+void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+               const TiledOptions& opt);
+
+/// The per-element update levels after one up-stage (triangles) and one
+/// down-stage (inverted triangles) of the Fig. 7 tessellation; used by tests
+/// to assert the paper's (0,1,2,3,4,3,2,1,0) / all-H states and by the
+/// tessellate1d demo.
+struct TessellationTrace {
+  std::vector<int> after_up;    // level of each of n elements after stage 1
+  std::vector<int> after_down;  // after stage 2 (must be uniform H)
+};
+TessellationTrace trace_tessellation_1d(int n, int tile, int height, int slope);
+
+}  // namespace sf

@@ -1,0 +1,44 @@
+// Update-level tracer for the 1-D tessellation of paper Fig. 7.
+//
+// Runs the same wedge geometry as split_tiling.cpp but records how many
+// times each element has been updated instead of touching data. Tests use
+// it to assert the paper's per-stage states: after the triangle stage a tile
+// reads (0,1,2,...,H,...,2,1,0); after the inverted-triangle stage every
+// element has been updated exactly H times.
+#include <algorithm>
+
+#include "tiling/split_tiling.hpp"
+
+namespace sf {
+
+TessellationTrace trace_tessellation_1d(int n, int tile, int height, int slope) {
+  TessellationTrace tr;
+  tr.after_up.assign(static_cast<std::size_t>(n), 0);
+
+  const int ntiles = (n + tile - 1) / tile;
+  for (int kt = 0; kt < ntiles; ++kt) {
+    const int x0 = kt * tile;
+    const int x1 = std::min(n, x0 + tile);
+    for (int sg = 1; sg <= height; ++sg) {
+      const int lo = x0 == 0 ? 0 : x0 + sg * slope;
+      const int hi = x1 == n ? n : x1 - sg * slope;
+      for (int x = lo; x < hi; ++x) tr.after_up[static_cast<std::size_t>(x)]++;
+    }
+  }
+  tr.after_down = tr.after_up;
+  for (int kt = 1; kt < ntiles; ++kt) {
+    const int xc = kt * tile;
+    for (int sg = 1; sg <= height; ++sg) {
+      const int lo = std::max(0, xc - sg * slope);
+      const int hi = std::min(n, xc + sg * slope);
+      // The inverted triangle updates exactly the elements still behind
+      // level sg.
+      for (int x = lo; x < hi; ++x)
+        if (tr.after_down[static_cast<std::size_t>(x)] < sg)
+          tr.after_down[static_cast<std::size_t>(x)]++;
+    }
+  }
+  return tr;
+}
+
+}  // namespace sf

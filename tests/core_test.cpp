@@ -1,0 +1,97 @@
+// Public API: every (preset x method x tiled) combination must verify
+// against the reference through the same entry points the benchmarks use.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/problem.hpp"
+
+namespace sf {
+namespace {
+
+struct Case {
+  Preset preset;
+  Method method;
+  bool tiled;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = preset(info.param.preset).name + std::string("_") +
+                  method_name(info.param.method) +
+                  (info.param.tiled ? "_tiled" : "_flat");
+  for (char& ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return s;
+}
+
+class CoreApi : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CoreApi, RunVerifiedIsExact) {
+  const Case c = GetParam();
+  const auto& spec = preset(c.preset);
+  ProblemConfig cfg;
+  cfg.preset = c.preset;
+  cfg.method = c.method;
+  cfg.tiled = c.tiled;
+  // Small but multi-tile sizes so the verification is fast yet meaningful.
+  switch (spec.dims) {
+    case 1: cfg.nx = 3000; break;
+    case 2: cfg.nx = 80; cfg.ny = 72; break;
+    case 3: cfg.nx = 40; cfg.ny = 24; cfg.nz = 20; break;
+  }
+  cfg.tsteps = 8;
+  cfg.tile_opts.threads = 3;
+
+  RunResult r = run_verified(cfg);
+  EXPECT_GE(r.max_error, 0.0);
+  EXPECT_LE(r.max_error, 1e-10);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> v;
+  for (const auto& spec : all_presets())
+    for (Method m : {Method::Naive, Method::MultipleLoads, Method::DataReorg,
+                     Method::DLT, Method::Ours, Method::Ours2})
+      for (bool tiled : {false, true}) v.push_back({spec.id, m, tiled});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoreApi, ::testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST(CoreApi, ResolveFillsDefaults) {
+  ProblemConfig cfg;
+  cfg.preset = Preset::Heat3D;
+  ProblemConfig r = resolve(cfg);
+  EXPECT_EQ(r.nx, preset(Preset::Heat3D).small_size[0]);
+  EXPECT_EQ(r.nz, preset(Preset::Heat3D).small_size[2]);
+  EXPECT_GT(r.tsteps, 0);
+  EXPECT_EQ(r.tile_opts.method, r.method);
+}
+
+TEST(CoreApi, FlopsAccountingMatchesTapCounts) {
+  // 2*taps - 1 per point, plus the source term for APOP.
+  EXPECT_DOUBLE_EQ(flops_per_step(preset(Preset::Heat1D), 100, 1, 1), 500.0);
+  EXPECT_DOUBLE_EQ(flops_per_step(preset(Preset::Box2D9), 10, 10, 1), 1700.0);
+  EXPECT_DOUBLE_EQ(flops_per_step(preset(Preset::Box3D27), 4, 4, 4), 64 * 53.0);
+  EXPECT_DOUBLE_EQ(flops_per_step(preset(Preset::Apop), 100, 1, 1),
+                   100 * (5 + 2 * 1.0));
+}
+
+TEST(CoreApi, GflopsConsistentAcrossMethods) {
+  // Same useful-flops convention for every method: gflops * seconds equal.
+  ProblemConfig cfg;
+  cfg.preset = Preset::Heat2D;
+  cfg.nx = cfg.ny = 200;
+  cfg.tsteps = 10;
+  cfg.method = Method::Naive;
+  RunResult a = run_problem(cfg);
+  cfg.method = Method::Ours2;
+  RunResult b = run_problem(cfg);
+  EXPECT_NEAR(a.gflops * a.seconds, b.gflops * b.seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace sf

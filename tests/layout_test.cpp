@@ -1,0 +1,151 @@
+// Layout transforms: round trips, index maps, and TLRow vector assembly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "grid/grid_utils.hpp"
+#include "kernels/tl_access.hpp"
+#include "layout/dlt_layout.hpp"
+#include "layout/transpose_layout.hpp"
+
+namespace sf {
+namespace {
+
+template <int W>
+void check_tl_roundtrip(int n) {
+  Grid1D g(n, 8);
+  fill_random(g, 5);
+  Grid1D ref(n, 8);
+  copy(g, ref);
+  grid_transpose_layout<W>(g);
+  grid_transpose_layout<W>(g);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0) << "n=" << n;
+}
+
+TEST(TransposeLayout, RoundTrip) {
+  for (int n : {16, 17, 31, 32, 64, 100, 1000}) check_tl_roundtrip<4>(n);
+  if (cpu_has_avx512())
+    for (int n : {64, 65, 128, 1000}) check_tl_roundtrip<8>(n);
+}
+
+template <int W>
+void check_tl_index(int n) {
+  // tl_index must be the permutation the block transpose performs.
+  Grid1D g(n, 8);
+  for (int i = -8; i < n + 8; ++i) g.at(i) = i;
+  grid_transpose_layout<W>(g);
+  for (int i = -8; i < n + 8; ++i)
+    EXPECT_DOUBLE_EQ(g.at(tl_index<W>(i, n)), i) << "i=" << i;
+}
+
+TEST(TransposeLayout, IndexMap) {
+  check_tl_index<4>(64);
+  check_tl_index<4>(70);  // with tail
+  if (cpu_has_avx512()) check_tl_index<8>(200);
+}
+
+TEST(TransposeLayout, MatchesPaperFigure1) {
+  // Original A..P (0..15) becomes A E I M B F J N C G K O D H L P.
+  Grid1D g(16, 8);
+  for (int i = 0; i < 16; ++i) g.at(i) = i;
+  grid_transpose_layout<4>(g);
+  const double expect[16] = {0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15};
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(g.at(i), expect[i]);
+}
+
+template <int W>
+void check_tlrow_vectors(int n) {
+  Grid1D g(n, 8);
+  for (int i = -8; i < n + 8; ++i) g.at(i) = i;
+  grid_transpose_layout<W>(g);
+  TLRow<W> row(g.data(), n);
+  // vec(b, jj) lane t must hold logical element b*W*W + jj + W*t.
+  for (int b = 0; b < row.nb; ++b)
+    for (int jj = -W; jj < 2 * W; ++jj) {
+      auto v = row.vec(b, jj);
+      for (int t = 0; t < W; ++t) {
+        const int logical = b * W * W + jj + W * t;
+        EXPECT_DOUBLE_EQ(v.lane(t), logical)
+            << "b=" << b << " jj=" << jj << " lane=" << t;
+      }
+    }
+}
+
+TEST(TransposeLayout, TLRowAssembledVectors) {
+  check_tlrow_vectors<4>(64);   // exact blocks
+  check_tlrow_vectors<4>(80);
+  check_tlrow_vectors<4>(70);   // tail of 6
+  if (cpu_has_avx512()) {
+    check_tlrow_vectors<8>(128);
+    check_tlrow_vectors<8>(150);  // tail
+  }
+}
+
+TEST(TransposeLayout, Grid2DRowwise) {
+  Grid2D g(6, 40, 8);
+  fill_random(g, 11);
+  Grid2D ref(6, 40, 8);
+  copy(g, ref);
+  grid_transpose_layout<4>(g);
+  // Each row is permuted independently — including halo rows, which kernels
+  // read through layout-aware views as y-neighbours of boundary rows.
+  for (int y = -8; y < 6 + 8; ++y)
+    for (int x = 0; x < 40; ++x)
+      EXPECT_DOUBLE_EQ(g.at(y, tl_index<4>(x, 40)), ref.at(y, x));
+  // Column halo keeps its original order.
+  EXPECT_DOUBLE_EQ(g.at(2, -3), ref.at(2, -3));
+  grid_transpose_layout<4>(g);
+  for (int y = -8; y < 6 + 8; ++y)
+    for (int x = -8; x < 40 + 8; ++x)
+      EXPECT_DOUBLE_EQ(g.at(y, x), ref.at(y, x));
+}
+
+TEST(DltLayout, RoundTrip1D) {
+  for (int n : {64, 100, 1000, 1003}) {
+    Grid1D g(n, 8);
+    fill_random(g, 3);
+    Grid1D ref(n, 8);
+    copy(g, ref);
+    grid_to_dlt(g, 4);
+    grid_from_dlt(g, 4);
+    EXPECT_EQ(max_abs_diff(g, ref), 0.0) << n;
+  }
+}
+
+TEST(DltLayout, IndexMap) {
+  const int n = 40, w = 4;  // L = 10
+  Grid1D g(n, 8);
+  for (int i = -8; i < n + 8; ++i) g.at(i) = i;
+  grid_to_dlt(g, w);
+  for (int i = -8; i < n + 8; ++i)
+    EXPECT_DOUBLE_EQ(g.at(dlt_index(i, n, w)), i) << i;
+  // Lanes of the column-j vector are L apart in logical space.
+  for (int j = 0; j < 10; ++j)
+    for (int lane = 0; lane < w; ++lane)
+      EXPECT_DOUBLE_EQ(g.at(j * w + lane), lane * 10 + j);
+}
+
+TEST(DltLayout, RoundTrip2D) {
+  Grid2D g(5, 64, 8);
+  fill_random(g, 9);
+  Grid2D ref(5, 64, 8);
+  copy(g, ref);
+  grid_to_dlt(g, 4);
+  grid_from_dlt(g, 4);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0);
+}
+
+TEST(DltLayout, RoundTrip3D) {
+  Grid3D g(4, 5, 48, 8);
+  fill_random(g, 13);
+  Grid3D ref(4, 5, 48, 8);
+  copy(g, ref);
+  grid_to_dlt(g, 4);
+  grid_from_dlt(g, 4);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,148 @@
+// Pattern algebra: composition, powers (folding matrices), symmetry queries,
+// and the property power(p,m) applied once == p applied m times.
+#include <gtest/gtest.h>
+
+#include "grid/grid_utils.hpp"
+#include "stencil/pattern.hpp"
+#include "stencil/presets.hpp"
+#include "stencil/reference.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Pattern, IdentityComposes) {
+  auto p = preset(Preset::Heat1D).p1;
+  auto q = compose(Pattern1D::identity(), p);
+  EXPECT_EQ(q.taps.size(), p.taps.size());
+  for (std::size_t i = 0; i < p.taps.size(); ++i) {
+    EXPECT_EQ(q.taps[i].off, p.taps[i].off);
+    EXPECT_DOUBLE_EQ(q.taps[i].w, p.taps[i].w);
+  }
+}
+
+TEST(Pattern, FromTapsMergesAndDropsZeros) {
+  auto p = Pattern1D::from_taps({{{0}, 1.0}, {{0}, 2.0}, {{1}, 0.0}});
+  ASSERT_EQ(p.taps.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.taps[0].w, 3.0);
+}
+
+TEST(Pattern, PowerRadiusGrows) {
+  auto p = preset(Preset::Box2D9).p2;
+  EXPECT_EQ(p.radius(), 1);
+  EXPECT_EQ(power(p, 2).radius(), 2);
+  EXPECT_EQ(power(p, 3).radius(), 3);
+}
+
+TEST(Pattern, PowerSizeBox) {
+  // (3x3 box)^2 has full 5x5 support.
+  auto p = preset(Preset::Box2D9).p2;
+  EXPECT_EQ(power(p, 2).size(), 25u);
+}
+
+TEST(Pattern, EqualWeightBoxFoldIsSeparable) {
+  // Paper Fig. 5: (1,2,3,2,1) outer product, scaled by w^2.
+  auto lam = power(preset(Preset::Box2D9).p2, 2);
+  const double w2 = (1.0 / 9) * (1.0 / 9);
+  const int expect[5] = {1, 2, 3, 2, 1};
+  for (int dy = -2; dy <= 2; ++dy)
+    for (int dx = -2; dx <= 2; ++dx)
+      EXPECT_NEAR(lam.weight_at({dy, dx}), expect[dy + 2] * expect[dx + 2] * w2,
+                  1e-15);
+}
+
+TEST(Pattern, StarAndSymmetryQueries) {
+  EXPECT_TRUE(preset(Preset::Heat2D).p2.is_star());
+  EXPECT_FALSE(preset(Preset::Box2D9).p2.is_star());
+  EXPECT_TRUE(preset(Preset::Box2D9).p2.is_symmetric());
+  EXPECT_FALSE(preset(Preset::GB).p2.is_symmetric());
+  EXPECT_TRUE(preset(Preset::Heat3D).p3.is_star());
+}
+
+TEST(Pattern, PowerSumGeometric) {
+  // power_sum(p, 2) = I + p.
+  auto p = preset(Preset::Heat1D).p1;
+  auto s = power_sum(p, 2);
+  EXPECT_DOUBLE_EQ(s.weight_at({0}), 1.0 + 0.5);
+  EXPECT_DOUBLE_EQ(s.weight_at({-1}), 0.25);
+}
+
+TEST(Pattern, FlopsPerPoint) {
+  EXPECT_EQ(preset(Preset::Heat1D).p1.flops_per_point(), 5);
+  EXPECT_EQ(preset(Preset::Box2D9).p2.flops_per_point(), 17);
+  EXPECT_EQ(preset(Preset::Box3D27).p3.flops_per_point(), 53);
+}
+
+// Property: applying power(p,m) once equals m reference steps, for every 1-D
+// and 2-D preset and m in 1..3 (deep interior only; the halo-adjacent ring
+// legitimately differs, which is exactly why the folded executors correct it).
+class PowerProperty1D : public ::testing::TestWithParam<std::tuple<Preset, int>> {};
+
+TEST_P(PowerProperty1D, MatchesRepeatedApplication) {
+  const auto [id, m] = GetParam();
+  const auto& spec = preset(id);
+  if (spec.dims != 1 || spec.has_source) GTEST_SKIP();
+  const int n = 64;
+  const int halo = 8;
+  Grid1D a(n, halo), b(n, halo), fold(n, halo);
+  fill_random(a, 42);
+  copy(a, fold);
+  copy(a, b);
+
+  run_reference(spec.p1, a, b, m);
+  Grid1D out(n, halo);
+  copy(fold, out);
+  apply_pattern(power(spec.p1, m), fold, out, 0, n);
+
+  const int rho = (m - 1) * spec.p1.radius();
+  for (int i = rho; i < n - rho; ++i)
+    EXPECT_NEAR(a.at(i), out.at(i), 1e-12) << "i=" << i << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerProperty1D,
+    ::testing::Combine(::testing::Values(Preset::Heat1D, Preset::P1D5),
+                       ::testing::Values(1, 2, 3)));
+
+class PowerProperty2D : public ::testing::TestWithParam<std::tuple<Preset, int>> {};
+
+TEST_P(PowerProperty2D, MatchesRepeatedApplication) {
+  const auto [id, m] = GetParam();
+  const auto& spec = preset(id);
+  const int ny = 20, nx = 24, halo = 8;
+  Grid2D a(ny, nx, halo), b(ny, nx, halo), fold(ny, nx, halo);
+  fill_random(a, 7);
+  copy(a, fold);
+  copy(a, b);
+
+  run_reference(spec.p2, a, b, m);
+  Grid2D out(ny, nx, halo);
+  copy(fold, out);
+  apply_pattern(power(spec.p2, m), fold, out, 0, ny, 0, nx);
+
+  const int rho = (m - 1) * spec.p2.radius();
+  for (int y = rho; y < ny - rho; ++y)
+    for (int x = rho; x < nx - rho; ++x)
+      EXPECT_NEAR(a.at(y, x), out.at(y, x), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerProperty2D,
+    ::testing::Combine(::testing::Values(Preset::Heat2D, Preset::Box2D9,
+                                         Preset::Life, Preset::GB),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Presets, TableOneInventory) {
+  EXPECT_EQ(all_presets().size(), 9u);
+  EXPECT_EQ(preset(Preset::Heat1D).points(), 3);
+  EXPECT_EQ(preset(Preset::P1D5).points(), 5);
+  EXPECT_EQ(preset(Preset::Heat2D).points(), 5);
+  EXPECT_EQ(preset(Preset::Box2D9).points(), 9);
+  EXPECT_EQ(preset(Preset::Life).points(), 8);  // no self-term
+  EXPECT_EQ(preset(Preset::GB).points(), 9);
+  EXPECT_EQ(preset(Preset::Heat3D).points(), 7);
+  EXPECT_EQ(preset(Preset::Box3D27).points(), 27);
+  EXPECT_TRUE(preset(Preset::Apop).has_source);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,185 @@
+// Temporal split tiling: exact equivalence with the naive reference for
+// every tiled method, dimension, and awkward geometry; plus the paper's
+// Fig. 7 tessellation states.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/cpu.hpp"
+#include "grid/grid_utils.hpp"
+#include "stencil/presets.hpp"
+#include "stencil/reference.hpp"
+#include "tiling/split_tiling.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Tessellation, PaperFigure7States) {
+  // 3-point stencil (r = 1, slope 1), H = 4, tile 9: interior tiles read
+  // (0,1,2,3,4,3,2,1,0) after the triangle stage; everything reads 4 after
+  // the inverted-triangle stage.
+  auto tr = trace_tessellation_1d(27, 9, 4, 1);
+  const int expect[9] = {0, 1, 2, 3, 4, 3, 2, 1, 0};
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(tr.after_up[9 + i], expect[i]) << i;
+  for (int x = 0; x < 27; ++x) EXPECT_EQ(tr.after_down[x], 4) << x;
+}
+
+TEST(Tessellation, FoldedSkipsOddLevels) {
+  // With m = 2 the slope doubles: states go 0,2,4 across a tile (Fig. 7
+  // "odd time steps are skipped").
+  auto tr = trace_tessellation_1d(30, 10, 2, 2);
+  for (int x = 0; x < 30; ++x) EXPECT_EQ(tr.after_down[x], 2);
+  EXPECT_EQ(tr.after_up[10], 0);
+  EXPECT_EQ(tr.after_up[12], 1);  // one folded super-step = 2 time steps
+  EXPECT_EQ(tr.after_up[14], 2);
+}
+
+struct Case {
+  int dims;
+  Preset preset;
+  Method method;
+  int n0, n1, n2;  // extents (unused dims = 1)
+  int tsteps;
+  int tile;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& c = info.param;
+  std::string s = std::to_string(c.dims) + "d_" + preset(c.preset).name + "_" +
+                  method_name(c.method) + "_n" + std::to_string(c.n0) + "_t" +
+                  std::to_string(c.tsteps) + "_b" + std::to_string(c.tile);
+  for (char& ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return s;
+}
+
+class Tiled : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Tiled, MatchesReference) {
+  const Case c = GetParam();
+  const auto& spec = preset(c.preset);
+  TiledOptions opt;
+  opt.method = c.method;
+  opt.isa = Isa::Auto;
+  opt.tile = c.tile;
+  opt.threads = 4;
+
+  if (c.dims == 1) {
+    const int halo = required_halo(c.method, spec.p1.radius());
+    Grid1D a(c.n0, halo), b(c.n0, halo), ra(c.n0, halo), rb(c.n0, halo);
+    Grid1D k(c.n0, halo);
+    fill_random(a, 99 + c.n0);
+    fill_random(k, 7);
+    copy(a, b);
+    copy(a, ra);
+    copy(a, rb);
+    const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
+    const Grid1D* kk = spec.has_source ? &k : nullptr;
+    run_reference(spec.p1, ra, rb, c.tsteps, src, kk);
+    run_tiled(spec.p1, a, b, src, kk, c.tsteps, opt);
+    EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+  } else if (c.dims == 2) {
+    const int halo = required_halo(c.method, spec.p2.radius());
+    Grid2D a(c.n0, c.n1, halo), b(c.n0, c.n1, halo);
+    Grid2D ra(c.n0, c.n1, halo), rb(c.n0, c.n1, halo);
+    fill_random(a, 31 + c.n0);
+    copy(a, b);
+    copy(a, ra);
+    copy(a, rb);
+    run_reference(spec.p2, ra, rb, c.tsteps);
+    run_tiled(spec.p2, a, b, c.tsteps, opt);
+    EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+  } else {
+    const int halo = required_halo(c.method, spec.p3.radius());
+    Grid3D a(c.n0, c.n1, c.n2, halo), b(c.n0, c.n1, c.n2, halo);
+    Grid3D ra(c.n0, c.n1, c.n2, halo), rb(c.n0, c.n1, c.n2, halo);
+    fill_random(a, 77 + c.n0);
+    copy(a, b);
+    copy(a, ra);
+    copy(a, rb);
+    run_reference(spec.p3, ra, rb, c.tsteps);
+    run_tiled(spec.p3, a, b, c.tsteps, opt);
+    EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+  }
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> v;
+  const std::vector<Method> methods = {Method::Naive, Method::DLT, Method::Ours,
+                                       Method::Ours2};
+  // 1-D: tile sizes chosen to force several tiles and wedge interactions.
+  for (Preset p : {Preset::Heat1D, Preset::P1D5, Preset::Apop})
+    for (Method m : methods) {
+      v.push_back({1, p, m, 512, 1, 1, 12, 64});
+      v.push_back({1, p, m, 1000, 1, 1, 9, 128});
+      v.push_back({1, p, m, 100, 1, 1, 8, 0});  // auto tile
+    }
+  // 2-D.
+  for (Preset p : {Preset::Heat2D, Preset::Box2D9, Preset::Life, Preset::GB})
+    for (Method m : methods) {
+      v.push_back({2, p, m, 64, 48, 1, 10, 16});
+      v.push_back({2, p, m, 45, 41, 1, 7, 12});
+    }
+  // 3-D.
+  for (Preset p : {Preset::Heat3D, Preset::Box3D27})
+    for (Method m : methods) {
+      v.push_back({3, p, m, 32, 16, 24, 8, 8});
+      v.push_back({3, p, m, 21, 13, 19, 5, 7});
+    }
+  // Untiled fallback methods run through the same entry point.
+  v.push_back({2, Preset::Box2D9, Method::MultipleLoads, 40, 40, 1, 6, 16});
+  v.push_back({1, Preset::Heat1D, Method::DataReorg, 300, 1, 1, 6, 50});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Tiled, ::testing::ValuesIn(make_cases()),
+                         case_name);
+
+TEST(Tiled, ThreadCountInvariance) {
+  // Same bit-exact result for 1, 2 and 8 threads (stages are barriers; tiles
+  // are disjoint).
+  const auto& spec = preset(Preset::Box2D9);
+  const int ny = 96, nx = 64, tsteps = 12;
+  const int halo = required_halo(Method::Ours2, spec.p2.radius());
+  Grid2D ref(ny, nx, halo), refb(ny, nx, halo);
+  fill_random(ref, 1);
+  copy(ref, refb);
+  TiledOptions opt;
+  opt.method = Method::Ours2;
+  opt.tile = 24;
+  opt.threads = 1;
+  run_tiled(spec.p2, ref, refb, tsteps, opt);
+
+  for (int threads : {2, 8}) {
+    Grid2D a(ny, nx, halo), b(ny, nx, halo);
+    fill_random(a, 1);
+    copy(a, b);
+    TiledOptions o2 = opt;
+    o2.threads = threads;
+    run_tiled(spec.p2, a, b, tsteps, o2);
+    EXPECT_EQ(max_abs_diff(a, ref), 0.0) << threads << " threads";
+  }
+}
+
+TEST(Tiled, LongHorizon) {
+  // Many time blocks back to back.
+  const auto& spec = preset(Preset::Heat1D);
+  const int n = 2048, tsteps = 64;
+  const int halo = required_halo(Method::Ours2, spec.p1.radius());
+  Grid1D a(n, halo), b(n, halo), ra(n, halo), rb(n, halo);
+  fill_random(a, 3);
+  copy(a, b);
+  copy(a, ra);
+  copy(a, rb);
+  run_reference(spec.p1, ra, rb, tsteps);
+  TiledOptions opt;
+  opt.method = Method::Ours2;
+  opt.tile = 256;
+  opt.time_block = 16;
+  opt.threads = 4;
+  run_tiled(spec.p1, a, b, nullptr, nullptr, tsteps, opt);
+  EXPECT_LE(max_abs_diff(a, ra), 1e-10);
+}
+
+}  // namespace
+}  // namespace sf

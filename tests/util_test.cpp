@@ -1,0 +1,155 @@
+// Substrate units: aligned storage, grids, tables, CPU dispatch, env knobs,
+// and the dense linear algebra under the regression planner.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cpu.hpp"
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "grid/grid_utils.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/least_squares.hpp"
+
+namespace sf {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer b(1001);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kAlignment, 0u);
+  for (std::size_t i = 0; i < 1001; ++i) EXPECT_EQ(b[i], 0.0);
+  AlignedBuffer c(std::move(b));
+  EXPECT_EQ(c.size(), 1001u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Grid, RowAlignmentEveryRow) {
+  Grid2D g(5, 37, 3);
+  for (int y = -3; y < 8; ++y)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(y)) % kAlignment, 0u);
+  Grid3D h(3, 4, 19, 5);
+  for (int z = -5; z < 8; ++z)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(h.row(z, 0)) % kAlignment, 0u);
+}
+
+TEST(Grid, HaloIndexingRoundTrip) {
+  Grid1D g(10, 4);
+  for (int i = -4; i < 14; ++i) g.at(i) = i * 1.5;
+  for (int i = -4; i < 14; ++i) EXPECT_DOUBLE_EQ(g.at(i), i * 1.5);
+}
+
+TEST(GridUtils, CopyAndDiff) {
+  Grid2D a(6, 7, 2), b(6, 7, 2);
+  fill_random(a, 1);
+  copy(a, b);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  b.at(3, 3) += 0.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_GE(max_abs(a), max_abs_diff(a, b) - 0.5);
+}
+
+TEST(GridUtils, FillRandomDeterministic) {
+  Grid1D a(50, 2), b(50, 2);
+  fill_random(a, 9);
+  fill_random(b, 9);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  fill_random(b, 10);
+  EXPECT_GT(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a    bb"), std::string::npos);
+  EXPECT_EQ(t.csv(), "a,bb\n1,2\n333,4\n");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+TEST(Cpu, DispatchConsistency) {
+  EXPECT_EQ(isa_width(Isa::Scalar), 1);
+  EXPECT_EQ(isa_width(Isa::Avx2), 4);
+  EXPECT_EQ(isa_width(Isa::Avx512), 8);
+  const Isa resolved = resolve_isa(Isa::Auto);
+  EXPECT_NE(resolved, Isa::Auto);
+  if (cpu_has_avx512()) EXPECT_EQ(resolved, Isa::Avx512);
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_STREQ(isa_name(Isa::Avx2), "avx2");
+}
+
+TEST(Env, FlagAndLong) {
+  setenv("SF_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("SF_TEST_FLAG"));
+  setenv("SF_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("SF_TEST_FLAG"));
+  unsetenv("SF_TEST_FLAG");
+  EXPECT_FALSE(env_flag("SF_TEST_FLAG"));
+  setenv("SF_TEST_NUM", "42", 1);
+  EXPECT_EQ(env_long("SF_TEST_NUM", 7), 42);
+  unsetenv("SF_TEST_NUM");
+  EXPECT_EQ(env_long("SF_TEST_NUM", 7), 7);
+}
+
+TEST(Dense, GaussSolve) {
+  Mat a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_gauss(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  Mat sing(2, 2);
+  sing(0, 0) = 1;
+  sing(0, 1) = 2;
+  sing(1, 0) = 2;
+  sing(1, 1) = 4;
+  EXPECT_FALSE(solve_gauss(sing, {1, 2}, x));
+}
+
+TEST(Dense, MultiplyAndTranspose) {
+  Mat a(2, 3), b(3, 2);
+  int v = 1;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = v++;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) b(i, j) = v++;
+  Mat c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  Mat at = a.transposed();
+  EXPECT_DOUBLE_EQ(at(2, 1), a(1, 2));
+}
+
+TEST(LeastSquares, ExactFitAndScaleInvariance) {
+  // target = 2*b0 + 3*b1 at a tiny scale (the folding-matrix regime).
+  const double s = 1e-4;
+  std::vector<std::vector<double>> basis = {{s, 0, s}, {0, s, s}};
+  std::vector<double> target = {2 * s, 3 * s, 5 * s};
+  LsqFit fit = least_squares(basis, target);
+  ASSERT_TRUE(fit.exact);
+  EXPECT_NEAR(fit.coeff[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coeff[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, DependentBasisIsDropped) {
+  std::vector<std::vector<double>> basis = {{1, 2}, {2, 4}, {0, 1}};
+  std::vector<double> target = {1, 3};
+  LsqFit fit = least_squares(basis, target);
+  EXPECT_TRUE(fit.exact);
+  EXPECT_EQ(fit.coeff[1], 0.0);  // duplicate direction gets zero weight
+}
+
+TEST(LeastSquares, InexactFitFlagged) {
+  std::vector<std::vector<double>> basis = {{1, 0, 0}};
+  std::vector<double> target = {1, 1, 0};
+  LsqFit fit = least_squares(basis, target);
+  EXPECT_FALSE(fit.exact);
+  EXPECT_NEAR(fit.residual_inf, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sf
