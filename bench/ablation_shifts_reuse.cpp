@@ -18,7 +18,8 @@ int main() {
   Table t({"Stencil", "reuse GF/s", "no-reuse GF/s", "gain"});
   for (const auto& spec : all_presets()) {
     if (spec.dims != 2) continue;
-    const int halo = required_halo(Method::Ours2, spec.p2.radius());
+    const int halo =
+        require_kernel(Method::Ours2, 2, Isa::Avx2).required_halo(spec.p2.radius());
     double g[2];
     for (int mode = 0; mode < 2; ++mode) {
       Grid2D a(n, n, halo), b(n, n, halo);

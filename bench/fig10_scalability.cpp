@@ -13,22 +13,13 @@ int main() {
   for (int c = 1; c < maxthreads; c *= 2) cores.push_back(c);
   cores.push_back(maxthreads);
 
-  struct M {
-    const char* name;
-    Method method;
-    Isa isa;
-  };
-  const std::vector<M> methods = {
-      {"sdsl", Method::DLT, Isa::Avx2},
-      {"tessellation", Method::Naive, Isa::Auto},
-      {"our", Method::Ours, Isa::Avx2},
-      {"our-2step", Method::Ours2, Isa::Avx2},
-      {"our-2step-avx512", Method::Ours2, Isa::Avx512},
-  };
+  const auto& methods = bench::paper_competitors();
+
+  std::vector<std::string> header{"cores"};
+  for (const auto& m : methods) header.push_back(m.label);
 
   for (const auto& spec : all_presets()) {
-    Table t({"cores", "sdsl", "tessellation", "our", "our-2step",
-             "our-2step-avx512"});
+    Table t(header);
     std::cout << "Figure 10 (" << spec.name << "): GFLOP/s vs cores\n";
     for (int c : cores) {
       std::vector<std::string> row{std::to_string(c)};
@@ -37,21 +28,12 @@ int main() {
           row.push_back("-");
           continue;
         }
-        ProblemConfig cfg;
-        cfg.preset = spec.id;
-        cfg.method = m.method;
-        cfg.isa = m.isa;
-        cfg.tiled = true;
-        cfg.tile_opts.threads = c;
-        if (full) {
-          cfg.nx = spec.full_size[0];
-          cfg.ny = spec.dims >= 2 ? spec.full_size[1] : 1;
-          cfg.nz = spec.dims >= 3 ? spec.full_size[2] : 1;
-          cfg.tsteps = static_cast<int>(spec.full_tsteps);
-        }
-        cfg.tile_opts.method = cfg.method;
-        cfg.tile_opts.isa = cfg.isa;
-        row.push_back(Table::num(run_problem(cfg).gflops));
+        TiledOptions opts;
+        opts.threads = c;
+        Solver s =
+            Solver::make(spec.id).method(m.kernel).isa(m.isa).tiled(opts);
+        bench::apply_bench_size(s, spec, full);
+        row.push_back(Table::num(s.run().gflops));
       }
       t.add_row(row);
     }

@@ -1,6 +1,7 @@
 // Figure 8: single-thread, blocking-free absolute performance across problem
 // sizes spanning L1 cache to main memory, for two total-time-step regimes.
-// Methods: multiple loads, data reorganization, DLT, Our, Our (2 steps).
+// The method axis is enumerated from the kernel registry (one column per
+// method at the widest supported ISA, scalar baseline excluded).
 //
 // Expected shape (paper): Our(2 steps) > Our > DLT > data-reorg > multiple
 // loads at most sizes; DLT competitive only at small sizes / long T where
@@ -13,19 +14,15 @@ int main() {
   using namespace sf;
   const bool full = bench_full();
   const auto sizes = bench::size_sweep_1d(full);
-  const std::vector<std::pair<std::string, Method>> methods = {
-      {"multiple-loads", Method::MultipleLoads},
-      {"data-reorg", Method::DataReorg},
-      {"dlt", Method::DLT},
-      {"our", Method::Ours},
-      {"our-2step", Method::Ours2},
-  };
+  const auto methods = bench::method_axis(1, /*skip_naive=*/true);
   const std::vector<int> tregimes = full ? std::vector<int>{1000, 10000}
                                          : std::vector<int>{50, 500};
 
   for (int tsteps : tregimes) {
-    Table t({"n", "level", "multiple-loads", "data-reorg", "dlt", "our",
-             "our-2step", "best"});
+    std::vector<std::string> header{"n", "level"};
+    for (const KernelInfo* k : methods) header.push_back(k->name);
+    header.push_back("best");
+    Table t(header);
     std::cout << "Figure 8 (" << (full ? "paper" : "fast") << " sizes), T = "
               << tsteps << ", 1D-Heat, single thread\n";
     for (long n : sizes) {
@@ -34,19 +31,17 @@ int main() {
       row.push_back(bench::storage_level(2.0 * static_cast<double>(n) * 8));
       double best = 0;
       std::string bestname;
-      for (const auto& [name, m] : methods) {
-        ProblemConfig cfg;
-        cfg.preset = Preset::Heat1D;
-        cfg.method = m;
-        cfg.nx = n;
-        // Keep per-point work constant-ish: large sizes get fewer steps in
-        // fast mode so the whole sweep stays quick.
-        cfg.tsteps = tsteps;
-        RunResult r = bench::measure(cfg);
+      for (const KernelInfo* k : methods) {
+        Solver s = Solver::make(Preset::Heat1D)
+                       .method(k->method)
+                       .isa(k->isa)
+                       .size(n)
+                       .steps(tsteps);
+        RunResult r = bench::measure(s);
         row.push_back(Table::num(r.gflops));
         if (r.gflops > best) {
           best = r.gflops;
-          bestname = name;
+          bestname = k->name;
         }
       }
       row.push_back(bestname);

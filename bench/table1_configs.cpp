@@ -1,7 +1,8 @@
-// Table 1: parameter description for the stencils used in experiments.
-// Prints both the paper's configuration and the scaled-down fast-run
-// configuration this harness uses by default (SF_BENCH_FULL=1 selects the
-// paper sizes everywhere).
+// Table 1: parameter description for the stencils used in experiments,
+// plus the kernel-registry matrix: every registered kernel with its
+// capability metadata, enumerated straight from available_kernels() — a
+// newly registered kernel shows up here (and in every harness that sweeps
+// bench::method_axis) without touching any hand-kept list.
 #include <iostream>
 #include <sstream>
 
@@ -26,5 +27,20 @@ int main() {
                std::to_string(s.small_tsteps)});
   }
   bench::emit(t, "table1_configs");
+
+  Table k({"Dims", "Kernel", "ISA", "W", "fold m", "halo(r=1)", "halo(r=2)",
+           "vec path"});
+  for (int dims = 1; dims <= 3; ++dims)
+    for (const KernelInfo* info : available_kernels(dims)) {
+      std::string vec = info->max_radius < 0    ? "never"
+                        : info->max_radius == 0 ? "any r"
+                                                : "r<=" + std::to_string(info->max_radius);
+      k.add_row({std::to_string(dims) + "D", info->name, isa_name(info->isa),
+                 std::to_string(info->width), std::to_string(info->fold_depth),
+                 std::to_string(info->required_halo(1)),
+                 std::to_string(info->required_halo(2)), vec});
+    }
+  std::cout << "Kernel registry (CPU-supported entries)\n";
+  bench::emit(k, "table1_kernels");
   return 0;
 }

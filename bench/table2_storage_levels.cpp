@@ -1,5 +1,6 @@
 // Table 2: relative performance improvement over the multiple-loads baseline
-// per storage level (single-thread, blocking-free), plus the mean row.
+// per storage level (single-thread, blocking-free), plus the mean row. The
+// method axis comes from the kernel registry (bench::method_axis).
 //
 // Paper's values (Xeon 6140): mean 1.00 / 1.11 / 1.35 / 1.98 / 2.79 for
 // multiple-loads / data-reorg / DLT / Our / Our(2 steps). The *ordering*
@@ -14,13 +15,9 @@ int main() {
   using namespace sf;
   const bool full = bench_full();
   const auto sizes = bench::size_sweep_1d(full);
-  const std::vector<std::pair<std::string, Method>> methods = {
-      {"multiple-loads", Method::MultipleLoads},
-      {"data-reorg", Method::DataReorg},
-      {"dlt", Method::DLT},
-      {"our", Method::Ours},
-      {"our-2step", Method::Ours2},
-  };
+  // Skip the scalar baseline; the first axis entry (multiple-loads) is the
+  // table's 1.00x reference.
+  const auto methods = bench::method_axis(1, /*skip_naive=*/true);
   const int tsteps = full ? 1000 : 100;
 
   // level -> method -> (sum of ratios, count)
@@ -28,38 +25,40 @@ int main() {
   for (long n : sizes) {
     const std::string level = bench::storage_level(2.0 * static_cast<double>(n) * 8);
     double base = 0;
-    for (const auto& [name, m] : methods) {
-      ProblemConfig cfg;
-      cfg.preset = Preset::Heat1D;
-      cfg.method = m;
-      cfg.nx = n;
-      cfg.tsteps = tsteps;
-      RunResult r = bench::measure(cfg);
-      if (m == Method::MultipleLoads) base = r.gflops;
-      auto& slot = acc[level][name];
+    for (const KernelInfo* k : methods) {
+      Solver s = Solver::make(Preset::Heat1D)
+                     .method(k->method)
+                     .isa(k->isa)
+                     .size(n)
+                     .steps(tsteps);
+      RunResult r = bench::measure(s);
+      if (k->method == Method::MultipleLoads) base = r.gflops;
+      auto& slot = acc[level][k->name];
       slot.first += r.gflops / base;
       slot.second += 1;
     }
   }
 
-  Table t({"Level", "multiple-loads", "data-reorg", "dlt", "our", "our-2step"});
+  std::vector<std::string> header{"Level"};
+  for (const KernelInfo* k : methods) header.push_back(k->name);
+  Table t(header);
   std::map<std::string, std::pair<double, int>> mean;
   for (const char* level : {"L1", "L2", "L3", "Mem"}) {
     auto it = acc.find(level);
     if (it == acc.end()) continue;
     std::vector<std::string> row{level};
-    for (const auto& [name, m] : methods) {
-      const auto& slot = it->second[name];
+    for (const KernelInfo* k : methods) {
+      const auto& slot = it->second[k->name];
       const double v = slot.first / slot.second;
       row.push_back(Table::num(v) + "x");
-      mean[name].first += v;
-      mean[name].second += 1;
+      mean[k->name].first += v;
+      mean[k->name].second += 1;
     }
     t.add_row(row);
   }
   std::vector<std::string> row{"Mean"};
-  for (const auto& [name, m] : methods)
-    row.push_back(Table::num(mean[name].first / mean[name].second) + "x");
+  for (const KernelInfo* k : methods)
+    row.push_back(Table::num(mean[k->name].first / mean[k->name].second) + "x");
   t.add_row(row);
 
   std::cout << "Table 2: improvement over multiple-loads per storage level "

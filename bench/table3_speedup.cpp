@@ -10,25 +10,15 @@ int main() {
   const bool full = bench_full();
   const int maxthreads = hardware_threads();
 
-  struct M {
-    const char* name;
-    Method method;
-    Isa isa;
-  };
-  const std::vector<M> methods = {
-      {"sdsl", Method::DLT, Isa::Avx2},
-      {"tessellation", Method::Naive, Isa::Auto},
-      {"our", Method::Ours, Isa::Avx2},
-      {"our-2step", Method::Ours2, Isa::Avx2},
-      {"our-2step-avx512", Method::Ours2, Isa::Avx512},
-  };
+  const auto& methods = bench::paper_competitors();
 
-  Table t({"Method", "1D-Heat", "1D5P", "APOP", "2D-Heat", "2D9P",
-           "GameOfLife", "GB", "3D-Heat", "3D27P"});
+  std::vector<std::string> header{"Method"};
+  for (const auto& spec : all_presets()) header.push_back(spec.name);
+  Table t(header);
   std::cout << "Table 3: speedup over single core at " << maxthreads
             << " threads\n";
   for (const auto& m : methods) {
-    std::vector<std::string> row{m.name};
+    std::vector<std::string> row{m.label};
     for (const auto& spec : all_presets()) {
       if (m.isa == Isa::Avx512 && !cpu_has_avx512()) {
         row.push_back("-");
@@ -36,21 +26,12 @@ int main() {
       }
       double g[2] = {0, 0};
       for (int i = 0; i < 2; ++i) {
-        ProblemConfig cfg;
-        cfg.preset = spec.id;
-        cfg.method = m.method;
-        cfg.isa = m.isa;
-        cfg.tiled = true;
-        cfg.tile_opts.threads = i == 0 ? 1 : maxthreads;
-        if (full) {
-          cfg.nx = spec.full_size[0];
-          cfg.ny = spec.dims >= 2 ? spec.full_size[1] : 1;
-          cfg.nz = spec.dims >= 3 ? spec.full_size[2] : 1;
-          cfg.tsteps = static_cast<int>(spec.full_tsteps);
-        }
-        cfg.tile_opts.method = cfg.method;
-        cfg.tile_opts.isa = cfg.isa;
-        g[i] = run_problem(cfg).gflops;
+        TiledOptions opts;
+        opts.threads = i == 0 ? 1 : maxthreads;
+        Solver s =
+            Solver::make(spec.id).method(m.kernel).isa(m.isa).tiled(opts);
+        bench::apply_bench_size(s, spec, full);
+        g[i] = s.run().gflops;
       }
       row.push_back(Table::num(g[1] / g[0], 1) + "x");
     }

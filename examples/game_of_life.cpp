@@ -11,7 +11,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/problem.hpp"
+#include "core/solver.hpp"
 #include "grid/grid_utils.hpp"
 #include "stencil/reference.hpp"
 
@@ -50,16 +50,10 @@ int main(int argc, char** argv) {
             << "\n";
 
   // --- Throughput benchmark (paper's Game of Life row). -------------------
-  ProblemConfig cfg;
-  cfg.preset = Preset::Life;
-  cfg.method = Method::Ours2;
-  cfg.nx = n;
-  cfg.ny = n;
-  cfg.tsteps = steps;
-  cfg.tiled = true;
-  RunResult ours = run_problem(cfg);
-  cfg.method = Method::Naive;
-  RunResult tess = run_problem(cfg);
+  Solver solver =
+      Solver::make(Preset::Life).size(n, n).steps(steps).tiled(true);
+  RunResult ours = solver.method("ours-2step").run();
+  RunResult tess = solver.method("naive").run();
   std::cout << "surrogate kernel " << n << "^2, T=" << steps << ": our-2step "
             << ours.gflops << " GFLOP/s vs tessellation " << tess.gflops
             << " GFLOP/s (" << ours.gflops / tess.gflops << "x)\n";

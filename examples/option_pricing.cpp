@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/timing.hpp"
-#include "core/problem.hpp"
+#include "core/solver.hpp"
 #include "grid/grid_utils.hpp"
 #include "stencil/reference.hpp"
 
@@ -54,17 +54,17 @@ int main(int argc, char** argv) {
             << v[static_cast<std::size_t>(demo_n / 2)] << "\n";
 
   // --- The APOP throughput benchmark (linear part, folded kernel). -------
-  ProblemConfig cfg;
-  cfg.preset = Preset::Apop;
-  cfg.method = Method::Ours2;
-  cfg.nx = n;
-  cfg.tsteps = steps;
-  cfg.tiled = true;
-  RunResult ours = run_problem(cfg);
-
-  cfg.method = Method::MultipleLoads;
-  cfg.tiled = false;
-  RunResult base = run_problem(cfg);
+  RunResult ours = Solver::make(Preset::Apop)
+                       .size(n)
+                       .steps(steps)
+                       .method("ours-2step")
+                       .tiled(true)
+                       .run();
+  RunResult base = Solver::make(Preset::Apop)
+                       .size(n)
+                       .steps(steps)
+                       .method(Method::MultipleLoads)
+                       .run();
 
   std::cout << "APOP kernel, n = " << n << ", T = " << steps << ":\n"
             << "  our (2-step, tiled): " << ours.gflops << " GFLOP/s\n"
@@ -72,12 +72,12 @@ int main(int argc, char** argv) {
             << "  speedup:             " << ours.gflops / base.gflops << "x\n";
 
   // Verify the folded two-array kernel on a small instance.
-  ProblemConfig v2 = cfg;
-  v2.method = Method::Ours2;
-  v2.nx = 10000;
-  v2.tsteps = 20;
-  v2.tiled = true;
-  RunResult check = run_verified(v2);
+  RunResult check = Solver::make(Preset::Apop)
+                        .size(10000)
+                        .steps(20)
+                        .method(Method::Ours2)
+                        .tiled(true)
+                        .run_verified();
   std::cout << "  folded-vs-reference max error (n=10000, T=20): "
             << check.max_error << "\n";
   return check.max_error < 1e-10 ? 0 : 1;

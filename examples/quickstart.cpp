@@ -1,13 +1,11 @@
-// Quickstart: solve a 2-D heat diffusion problem with the folded
-// transpose-layout executor and verify it against the naive reference.
+// Quickstart: solve a 2-D heat diffusion problem through the Solver facade
+// and verify it against the naive reference.
 //
 //   $ ./quickstart [n] [steps]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/problem.hpp"
-#include "grid/grid_utils.hpp"
-#include "stencil/reference.hpp"
+#include "core/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace sf;
@@ -19,26 +17,30 @@ int main(int argc, char** argv) {
   const StencilSpec& heat = preset(Preset::Heat2D);
   std::cout << "Stencil: " << heat.name << " " << to_string(heat.p2) << "\n";
 
-  // 2. Configure and run. Method::Ours2 = register-transpose vectorization +
+  // 2. Configure and run. "ours-2step" = register-transpose vectorization +
   //    temporal computation folding (m = 2); tiled = temporal split tiling
-  //    across all cores.
-  ProblemConfig cfg;
-  cfg.preset = Preset::Heat2D;
-  cfg.method = Method::Ours2;
-  cfg.nx = n;
-  cfg.ny = n;
-  cfg.tsteps = steps;
-  cfg.tiled = true;
+  //    across all cores. Leaving the method unset (Method::Auto) would let
+  //    the fold cost model pick.
+  Solver solver = Solver::make(Preset::Heat2D)
+                      .size(n, n)
+                      .steps(steps)
+                      .method("ours-2step")
+                      .tiled(true);
+  std::cout << "Selected kernel: " << solver.kernel().name << " @ "
+            << isa_name(solver.kernel().isa)
+            << " (negotiated halo " << solver.halo() << ")\n";
 
-  RunResult r = run_verified(cfg);
+  RunResult r = solver.run_verified();
   std::cout << n << "x" << n << ", " << steps << " steps: " << r.seconds
             << " s, " << r.gflops << " GFLOP/s\n"
             << "max |error| vs naive reference: " << r.max_error << "\n";
 
   // 3. Compare with the baseline the compiler would give you.
-  cfg.method = Method::MultipleLoads;
-  cfg.tiled = false;
-  RunResult base = run_problem(cfg);
+  RunResult base = Solver::make(Preset::Heat2D)
+                       .size(n, n)
+                       .steps(steps)
+                       .method(Method::MultipleLoads)
+                       .run();
   std::cout << "multiple-loads baseline: " << base.gflops << " GFLOP/s -> "
             << r.gflops / base.gflops << "x speedup\n";
   return r.max_error < 1e-9 ? 0 : 1;

@@ -7,13 +7,45 @@
 
 namespace sf::bench {
 
-RunResult measure(const ProblemConfig& cfg) {
+RunResult measure(Solver& solver) {
   const long reps = env_long("SF_BENCH_REPS", bench_full() ? 1 : 5);
   std::vector<RunResult> rs;
-  for (long i = 0; i < std::max(1L, reps); ++i) rs.push_back(run_problem(cfg));
+  for (long i = 0; i < std::max(1L, reps); ++i) rs.push_back(solver.run());
   std::sort(rs.begin(), rs.end(),
             [](const RunResult& a, const RunResult& b) { return a.seconds < b.seconds; });
   return rs[rs.size() / 2];
+}
+
+std::vector<const KernelInfo*> method_axis(int dims, bool skip_naive) {
+  // available_kernels() is sorted by (method, isa); the widest supported
+  // ISA of each method is therefore the last entry of its method group.
+  std::vector<const KernelInfo*> axis;
+  for (const KernelInfo* k : available_kernels(dims, Isa::Auto)) {
+    if (skip_naive && k->method == Method::Naive) continue;
+    if (!axis.empty() && axis.back()->method == k->method)
+      axis.back() = k;
+    else
+      axis.push_back(k);
+  }
+  return axis;
+}
+
+const std::vector<Competitor>& paper_competitors() {
+  static const std::vector<Competitor> v = {
+      {"sdsl", "dlt", Isa::Avx2},
+      {"tessellation", "naive", Isa::Auto},
+      {"our", "ours", Isa::Avx2},
+      {"our-2step", "ours-2step", Isa::Avx2},
+      {"our-2step-avx512", "ours-2step", Isa::Avx512},
+  };
+  return v;
+}
+
+void apply_bench_size(Solver& s, const StencilSpec& spec, bool full) {
+  if (!full) return;  // fast mode: keep the preset's small-size defaults
+  s.size(spec.full_size[0], spec.dims >= 2 ? spec.full_size[1] : 0,
+         spec.dims >= 3 ? spec.full_size[2] : 0);
+  s.steps(static_cast<int>(spec.full_tsteps));
 }
 
 const char* storage_level(double ws) {

@@ -6,13 +6,32 @@
 
 #include "common/env.hpp"
 #include "common/table.hpp"
-#include "core/problem.hpp"
+#include "core/solver.hpp"
 
 namespace sf::bench {
 
 /// Median-of-reps measurement of one configuration (reps from SF_BENCH_REPS,
-/// default 3 fast / 1 full).
-RunResult measure(const ProblemConfig& cfg);
+/// default 5 fast / 1 full).
+RunResult measure(Solver& solver);
+
+/// The method axis the figures sweep: one kernel per method at the widest
+/// CPU-supported ISA, enumerated from the registry (registering a new
+/// method grows every harness automatically). Pass skip_naive for the
+/// single-thread figures, which exclude the scalar baseline.
+std::vector<const KernelInfo*> method_axis(int dims, bool skip_naive = false);
+
+/// The named competitor systems of the multicore figures (Fig. 9/10,
+/// Table 3): paper label -> registry kernel key + ISA. Shared so the three
+/// harnesses cannot drift apart.
+struct Competitor {
+  const char* label;
+  const char* kernel;  // registry string key
+  Isa isa;
+};
+const std::vector<Competitor>& paper_competitors();
+
+/// Applies the paper-size (SF_BENCH_FULL=1) extents of `spec` to `s`.
+void apply_bench_size(Solver& s, const StencilSpec& spec, bool full);
 
 /// Storage-level classification by working-set bytes (two grids), using the
 /// cache sizes of the machine the paper targets (32 KB / 1 MB / 24.75 MB);

@@ -1,12 +1,15 @@
 #include "core/problem.hpp"
 
-#include <stdexcept>
-
-#include "common/timing.hpp"
-#include "grid/grid_utils.hpp"
-#include "stencil/reference.hpp"
-
 namespace sf {
+
+Solver make_solver(const ProblemConfig& cfg) {
+  Solver s = Solver::make(cfg.preset);
+  s.method(cfg.method).isa(cfg.isa).seed(cfg.seed);
+  if (cfg.nx != 0) s.size(cfg.nx, cfg.ny, cfg.nz);
+  if (cfg.tsteps != 0) s.steps(cfg.tsteps);
+  if (cfg.tiled) s.tiled(cfg.tile_opts);
+  return s;
+}
 
 ProblemConfig resolve(ProblemConfig cfg) {
   const StencilSpec& spec = preset(cfg.preset);
@@ -21,176 +24,12 @@ ProblemConfig resolve(ProblemConfig cfg) {
   return cfg;
 }
 
-double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz) {
-  double pts = static_cast<double>(nx);
-  long f = 0;
-  switch (spec.dims) {
-    case 1:
-      f = spec.p1.flops_per_point();
-      if (spec.has_source) f += 2 * static_cast<long>(spec.src1.size());
-      break;
-    case 2:
-      pts *= static_cast<double>(ny);
-      f = spec.p2.flops_per_point();
-      break;
-    case 3:
-      pts *= static_cast<double>(ny) * static_cast<double>(nz);
-      f = spec.p3.flops_per_point();
-      break;
-    default:
-      throw std::logic_error("bad dims");
-  }
-  return pts * static_cast<double>(f);
+RunResult run_problem(const ProblemConfig& cfg) {
+  return make_solver(cfg).run();
 }
 
-namespace {
-
-template <class Fn>
-RunResult timed(const ProblemConfig& cfg, const StencilSpec& spec, Fn&& body) {
-  RunResult res;
-  Timer t;
-  body();
-  res.seconds = t.seconds();
-  res.tsteps = cfg.tsteps;
-  res.points = cfg.nx * (spec.dims >= 2 ? cfg.ny : 1) *
-               (spec.dims >= 3 ? cfg.nz : 1);
-  res.gflops = flops_per_step(spec, cfg.nx, cfg.ny, cfg.nz) *
-               static_cast<double>(cfg.tsteps) / res.seconds / 1e9;
-  return res;
-}
-
-}  // namespace
-
-RunResult run_problem(const ProblemConfig& raw) {
-  const ProblemConfig cfg = resolve(raw);
-  const StencilSpec& spec = preset(cfg.preset);
-  const int halo = required_halo(cfg.method, spec.dims == 1   ? spec.p1.radius()
-                                             : spec.dims == 2 ? spec.p2.radius()
-                                                              : spec.p3.radius());
-
-  switch (spec.dims) {
-    case 1: {
-      Grid1D a(static_cast<int>(cfg.nx), halo), b(static_cast<int>(cfg.nx), halo);
-      Grid1D k(static_cast<int>(cfg.nx), halo);
-      fill_random(a, cfg.seed);
-      if (spec.has_source) fill_random(k, cfg.seed + 1);
-      copy(a, b);
-      const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
-      const Grid1D* kk = spec.has_source ? &k : nullptr;
-      return timed(cfg, spec, [&] {
-        if (cfg.tiled) {
-          run_tiled(spec.p1, a, b, src, kk, cfg.tsteps, cfg.tile_opts);
-        } else {
-          kernel1d(cfg.method, cfg.isa)(spec.p1, a, b, src, kk, cfg.tsteps);
-        }
-        do_not_optimize(a.data());
-      });
-    }
-    case 2: {
-      Grid2D a(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      Grid2D b(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      fill_random(a, cfg.seed);
-      copy(a, b);
-      return timed(cfg, spec, [&] {
-        if (cfg.tiled) {
-          run_tiled(spec.p2, a, b, cfg.tsteps, cfg.tile_opts);
-        } else {
-          kernel2d(cfg.method, cfg.isa)(spec.p2, a, b, cfg.tsteps);
-        }
-        do_not_optimize(a.data());
-      });
-    }
-    case 3: {
-      Grid3D a(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-               static_cast<int>(cfg.nx), halo);
-      Grid3D b(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-               static_cast<int>(cfg.nx), halo);
-      fill_random(a, cfg.seed);
-      copy(a, b);
-      return timed(cfg, spec, [&] {
-        if (cfg.tiled) {
-          run_tiled(spec.p3, a, b, cfg.tsteps, cfg.tile_opts);
-        } else {
-          kernel3d(cfg.method, cfg.isa)(spec.p3, a, b, cfg.tsteps);
-        }
-        do_not_optimize(a.data());
-      });
-    }
-    default:
-      throw std::logic_error("bad dims");
-  }
-}
-
-RunResult run_verified(const ProblemConfig& raw) {
-  const ProblemConfig cfg = resolve(raw);
-  const StencilSpec& spec = preset(cfg.preset);
-  const int halo = required_halo(cfg.method, spec.dims == 1   ? spec.p1.radius()
-                                             : spec.dims == 2 ? spec.p2.radius()
-                                                              : spec.p3.radius());
-  RunResult res = run_problem(cfg);
-
-  switch (spec.dims) {
-    case 1: {
-      const int n = static_cast<int>(cfg.nx);
-      Grid1D a(n, halo), b(n, halo), ra(n, halo), rb(n, halo), k(n, halo);
-      fill_random(a, cfg.seed);
-      if (spec.has_source) fill_random(k, cfg.seed + 1);
-      copy(a, b);
-      copy(a, ra);
-      copy(a, rb);
-      const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
-      const Grid1D* kk = spec.has_source ? &k : nullptr;
-      run_reference(spec.p1, ra, rb, cfg.tsteps, src, kk);
-      if (cfg.tiled) {
-        run_tiled(spec.p1, a, b, src, kk, cfg.tsteps, cfg.tile_opts);
-      } else {
-        kernel1d(cfg.method, cfg.isa)(spec.p1, a, b, src, kk, cfg.tsteps);
-      }
-      res.max_error = max_abs_diff(a, ra);
-      break;
-    }
-    case 2: {
-      Grid2D a(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      Grid2D b(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      Grid2D ra(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      Grid2D rb(static_cast<int>(cfg.ny), static_cast<int>(cfg.nx), halo);
-      fill_random(a, cfg.seed);
-      copy(a, b);
-      copy(a, ra);
-      copy(a, rb);
-      run_reference(spec.p2, ra, rb, cfg.tsteps);
-      if (cfg.tiled) {
-        run_tiled(spec.p2, a, b, cfg.tsteps, cfg.tile_opts);
-      } else {
-        kernel2d(cfg.method, cfg.isa)(spec.p2, a, b, cfg.tsteps);
-      }
-      res.max_error = max_abs_diff(a, ra);
-      break;
-    }
-    case 3: {
-      Grid3D a(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-               static_cast<int>(cfg.nx), halo);
-      Grid3D b(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-               static_cast<int>(cfg.nx), halo);
-      Grid3D ra(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-                static_cast<int>(cfg.nx), halo);
-      Grid3D rb(static_cast<int>(cfg.nz), static_cast<int>(cfg.ny),
-                static_cast<int>(cfg.nx), halo);
-      fill_random(a, cfg.seed);
-      copy(a, b);
-      copy(a, ra);
-      copy(a, rb);
-      run_reference(spec.p3, ra, rb, cfg.tsteps);
-      if (cfg.tiled) {
-        run_tiled(spec.p3, a, b, cfg.tsteps, cfg.tile_opts);
-      } else {
-        kernel3d(cfg.method, cfg.isa)(spec.p3, a, b, cfg.tsteps);
-      }
-      res.max_error = max_abs_diff(a, ra);
-      break;
-    }
-  }
-  return res;
+RunResult run_verified(const ProblemConfig& cfg) {
+  return make_solver(cfg).run_verified();
 }
 
 }  // namespace sf

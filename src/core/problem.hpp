@@ -1,14 +1,17 @@
-// Public entry point: configure a benchmark stencil run, execute it, get
-// timing/GFLOP/s. This is the API the examples and the figure/table
-// harnesses use.
+// Deprecated config-struct entry point, kept as a thin shim for one
+// release. New code should use the Solver facade (core/solver.hpp):
+//
+//   before: ProblemConfig cfg; cfg.preset = ...; run_problem(cfg);
+//   after:  Solver::make(preset).method(...).size(...).run();
+//
+// run_verified() here historically executed the kernel twice (once timed
+// via run_problem, once more for the error check); the shim now delegates
+// to Solver::run_verified(), which verifies the single timed run's output.
 #pragma once
 
 #include <string>
 
-#include "common/cpu.hpp"
-#include "kernels/api.hpp"
-#include "stencil/presets.hpp"
-#include "tiling/split_tiling.hpp"
+#include "core/solver.hpp"
 
 namespace sf {
 
@@ -26,26 +29,17 @@ struct ProblemConfig {
   std::uint64_t seed = 42;
 };
 
-struct RunResult {
-  double seconds = 0;
-  double gflops = 0;       // useful flops: taps-based, identical across methods
-  double max_error = -1;   // vs naive reference, if verification requested
-  long points = 0;
-  int tsteps = 0;
-};
+/// Builds the equivalent Solver for a legacy config.
+Solver make_solver(const ProblemConfig& cfg);
 
-/// Fills in defaulted sizes/steps from the preset (paper sizes with
-/// SF_BENCH_FULL=1 semantics are the caller's choice).
+/// Deprecated: fills in defaulted sizes/steps from the preset. The Solver
+/// resolves defaults itself (Solver::resolve).
 ProblemConfig resolve(ProblemConfig cfg);
 
-/// Runs the configured problem once and reports wall time + GFLOP/s.
+/// Deprecated: use Solver::run().
 RunResult run_problem(const ProblemConfig& cfg);
 
-/// Runs the problem *and* the naive reference on the same inputs; fills
-/// RunResult::max_error. Meant for smoke verification (use small sizes).
+/// Deprecated: use Solver::run_verified().
 RunResult run_verified(const ProblemConfig& cfg);
-
-/// Useful FLOPs per time step for a preset at the given size.
-double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
 
 }  // namespace sf

@@ -1,0 +1,306 @@
+#include "core/solver.hpp"
+
+#include <stdexcept>
+#include <type_traits>
+
+#include "common/timing.hpp"
+#include "fold/cost_model.hpp"
+#include "grid/grid_utils.hpp"
+#include "stencil/reference.hpp"
+
+namespace sf {
+
+double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz) {
+  double pts = static_cast<double>(nx);
+  long f = 0;
+  switch (spec.dims) {
+    case 1:
+      f = spec.p1.flops_per_point();
+      if (spec.has_source) f += 2 * static_cast<long>(spec.src1.size());
+      break;
+    case 2:
+      pts *= static_cast<double>(ny);
+      f = spec.p2.flops_per_point();
+      break;
+    case 3:
+      pts *= static_cast<double>(ny) * static_cast<double>(nz);
+      f = spec.p3.flops_per_point();
+      break;
+    default:
+      throw std::logic_error("bad dims");
+  }
+  return pts * static_cast<double>(f);
+}
+
+namespace {
+
+/// Halo negotiation uses the largest radius the kernel will read with:
+/// the stencil's own, or the 1-D source term's if that is wider.
+int effective_radius(const StencilSpec& s) {
+  switch (s.dims) {
+    case 1:
+      return std::max(s.p1.radius(), s.has_source ? s.src1.radius() : 0);
+    case 2:
+      return s.p2.radius();
+    default:
+      return s.p3.radius();
+  }
+}
+
+bool fold_profitable(const StencilSpec& s, int m) {
+  switch (s.dims) {
+    case 1: return profitability(s.p1, m).index_vec() > 1.0;
+    case 2: return profitability(s.p2, m).index_vec() > 1.0;
+    default: return profitability(s.p3, m).index_vec() > 1.0;
+  }
+}
+
+/// The one dimensionality switch of the whole facade: every other piece of
+/// the run path is written once, generically, against D.
+template <class F>
+decltype(auto) dispatch_dims(int dims, F&& f) {
+  switch (dims) {
+    case 1: return f(std::integral_constant<int, 1>{});
+    case 2: return f(std::integral_constant<int, 2>{});
+    case 3: return f(std::integral_constant<int, 3>{});
+    default: throw std::logic_error("bad dims");
+  }
+}
+
+template <int D>
+auto make_grid(long nx, long ny, long nz, int halo) {
+  if constexpr (D == 1)
+    return Grid1D(static_cast<int>(nx), halo);
+  else if constexpr (D == 2)
+    return Grid2D(static_cast<int>(ny), static_cast<int>(nx), halo);
+  else
+    return Grid3D(static_cast<int>(nz), static_cast<int>(ny),
+                  static_cast<int>(nx), halo);
+}
+
+template <int D>
+const auto& pattern_of(const StencilSpec& s) {
+  if constexpr (D == 1)
+    return s.p1;
+  else if constexpr (D == 2)
+    return s.p2;
+  else
+    return s.p3;
+}
+
+// Per-dimension slots of the Workspace.
+template <int D>
+auto& ws_a(Workspace& w) {
+  if constexpr (D == 1) return w.a1;
+  else if constexpr (D == 2) return w.a2;
+  else return w.a3;
+}
+template <int D>
+auto& ws_b(Workspace& w) {
+  if constexpr (D == 1) return w.b1;
+  else if constexpr (D == 2) return w.b2;
+  else return w.b3;
+}
+template <int D>
+auto& ws_ra(Workspace& w) {
+  if constexpr (D == 1) return w.ra1;
+  else if constexpr (D == 2) return w.ra2;
+  else return w.ra3;
+}
+template <int D>
+auto& ws_rb(Workspace& w) {
+  if constexpr (D == 1) return w.rb1;
+  else if constexpr (D == 2) return w.rb2;
+  else return w.rb3;
+}
+
+}  // namespace
+
+Method auto_method(const StencilSpec& spec, Isa isa) {
+  const int r = effective_radius(spec);
+  // Deepest fold first: fold when the cost model says the folded collect
+  // beats the naive expansion *and* the folded vector path engages at this
+  // radius. Then the paper's single-step ordering (Table 2):
+  // ours > dlt > data-reorg > multiple-loads > naive.
+  const KernelInfo* folded = find_kernel(Method::Ours2, spec.dims, isa);
+  if (folded != nullptr && folded->supports(r) &&
+      fold_profitable(spec, folded->fold_depth))
+    return Method::Ours2;
+  for (Method m : {Method::Ours, Method::DLT, Method::DataReorg,
+                   Method::MultipleLoads}) {
+    const KernelInfo* k = find_kernel(m, spec.dims, isa);
+    if (k != nullptr && k->supports(r)) return m;
+  }
+  return Method::Naive;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+Solver& Solver::size(long nx, long ny, long nz) {
+  cfg_.nx = nx;
+  cfg_.ny = ny;
+  cfg_.nz = nz;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::steps(int tsteps) {
+  cfg_.tsteps = tsteps;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::method(Method m) {
+  cfg_.method = m;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::method(const std::string& name) {
+  return method(method_from_name(name));
+}
+
+Solver& Solver::isa(Isa v) {
+  cfg_.isa = v;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::tiled(bool on) {
+  cfg_.tiled = on;
+  return *this;
+}
+
+Solver& Solver::tiled(const TiledOptions& opts) {
+  cfg_.tile_opts = opts;
+  cfg_.tiled = true;
+  return *this;
+}
+
+Solver& Solver::seed(std::uint64_t s) {
+  cfg_.seed = s;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------------
+
+Solver& Solver::resolve() {
+  if (selected_ != nullptr) return *this;
+  // Each unset (0) extent independently defaults to the preset's fast-run
+  // size, so size(nx) on a 2-D problem keeps the preset's ny rather than
+  // silently degenerating to nx x 1.
+  if (cfg_.nx == 0) cfg_.nx = cfg_.spec.small_size[0];
+  if (cfg_.ny == 0)
+    cfg_.ny = cfg_.spec.dims >= 2 ? cfg_.spec.small_size[1] : 1;
+  if (cfg_.nz == 0)
+    cfg_.nz = cfg_.spec.dims >= 3 ? cfg_.spec.small_size[2] : 1;
+  if (cfg_.tsteps == 0) cfg_.tsteps = static_cast<int>(cfg_.spec.small_tsteps);
+
+  const Method m =
+      cfg_.method == Method::Auto ? auto_method(cfg_.spec, cfg_.isa) : cfg_.method;
+  selected_ = find_kernel(m, cfg_.spec.dims, cfg_.isa);
+  if (selected_ == nullptr)
+    throw std::invalid_argument(std::string("no kernel registered for ") +
+                                method_name(m) + " in " +
+                                std::to_string(cfg_.spec.dims) + "-D at " +
+                                isa_name(resolve_isa(cfg_.isa)));
+  halo_ = selected_->required_halo(effective_radius(cfg_.spec));
+  return *this;
+}
+
+const KernelInfo& Solver::kernel() { return *resolve().selected_; }
+
+int Solver::halo() { return resolve().halo_; }
+
+// ---------------------------------------------------------------------------
+// Execution: one generic path for every dimensionality
+// ---------------------------------------------------------------------------
+
+RunResult Solver::run_impl(bool verify) {
+  resolve();
+  const StencilSpec& s = cfg_.spec;
+
+  TiledOptions topts = cfg_.tile_opts;
+  topts.method = selected_->method;
+  topts.isa = selected_->isa;
+
+  return dispatch_dims(s.dims, [&](auto dc) -> RunResult {
+    constexpr int D = std::decay_t<decltype(dc)>::value;
+    const auto& p = pattern_of<D>(s);
+
+    if (ws_.dims != D || ws_.halo != halo_ || ws_.nx != cfg_.nx ||
+        ws_.ny != cfg_.ny || ws_.nz != cfg_.nz) {
+      ws_ = Workspace{};
+      ws_.dims = D;
+      ws_.halo = halo_;
+      ws_.nx = cfg_.nx;
+      ws_.ny = cfg_.ny;
+      ws_.nz = cfg_.nz;
+    }
+    auto& A = ws_a<D>(ws_);
+    auto& B = ws_b<D>(ws_);
+    if (!A) {
+      A.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+      B.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+    }
+    fill_random(*A, cfg_.seed);
+    [[maybe_unused]] const Pattern1D* src = nullptr;
+    [[maybe_unused]] const Grid1D* kk = nullptr;
+    if constexpr (D == 1) {
+      if (s.has_source) {
+        if (!ws_.k1) ws_.k1.emplace(make_grid<1>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+        fill_random(*ws_.k1, cfg_.seed + 1);
+        src = &s.src1;
+        kk = &*ws_.k1;
+      }
+    }
+    copy(*A, *B);
+
+    RunResult res;
+    res.tsteps = cfg_.tsteps;
+    res.points = cfg_.nx * (D >= 2 ? cfg_.ny : 1) * (D >= 3 ? cfg_.nz : 1);
+    Timer timer;
+    if constexpr (D == 1) {
+      if (cfg_.tiled)
+        run_tiled(p, *A, *B, src, kk, cfg_.tsteps, topts);
+      else
+        selected_->run1(p, *A, *B, src, kk, cfg_.tsteps);
+    } else {
+      if (cfg_.tiled)
+        run_tiled(p, *A, *B, cfg_.tsteps, topts);
+      else if constexpr (D == 2)
+        selected_->run2(p, *A, *B, cfg_.tsteps);
+      else
+        selected_->run3(p, *A, *B, cfg_.tsteps);
+    }
+    do_not_optimize(A->data());
+    res.seconds = timer.seconds();
+    res.gflops = flops_per_step(s, cfg_.nx, cfg_.ny, cfg_.nz) *
+                 static_cast<double>(cfg_.tsteps) / res.seconds / 1e9;
+
+    if (verify) {
+      // Untimed reference on identical inputs; the timed run's own output
+      // is what gets compared (the kernel executes exactly once).
+      auto& RA = ws_ra<D>(ws_);
+      auto& RB = ws_rb<D>(ws_);
+      if (!RA) {
+        RA.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+        RB.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+      }
+      fill_random(*RA, cfg_.seed);
+      copy(*RA, *RB);
+      if constexpr (D == 1)
+        run_reference(p, *RA, *RB, cfg_.tsteps, src, kk);
+      else
+        run_reference(p, *RA, *RB, cfg_.tsteps);
+      res.max_error = max_abs_diff(*A, *RA);
+    }
+    return res;
+  });
+}
+
+}  // namespace sf

@@ -1,0 +1,144 @@
+// The public entry point: a dimension-generic, builder-style facade over
+// the kernel registry.
+//
+//   RunResult r = Solver::make(Preset::Heat2D)
+//                     .size(4096, 4096)
+//                     .steps(500)
+//                     .method("ours-2step")   // or Method::Auto (default)
+//                     .isa(Isa::Auto)
+//                     .tiled(true)
+//                     .run();
+//
+// The Solver owns a Workspace (grids + scratch) whose halo is negotiated
+// from the selected kernel's capability (KernelInfo::required_halo), picks
+// the kernel through the registry — driven by the fold cost model when the
+// method is Auto — and runs one code path for 1-D/2-D/3-D where the old
+// run_problem/run_verified pair kept three hand-written switches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/cpu.hpp"
+#include "grid/grid.hpp"
+#include "kernels/registry.hpp"
+#include "stencil/presets.hpp"
+#include "tiling/split_tiling.hpp"
+
+namespace sf {
+
+/// The grids a Solver runs on. One (a, b) ping-pong pair of the problem's
+/// dimensionality is allocated with the halo negotiated from the selected
+/// kernel's capability; `k` is the 1-D time-invariant source array (APOP),
+/// and (ra, rb) are the naive-reference pair allocated only for verified
+/// runs. Allocations persist across run() calls and are re-made only when
+/// the shape or halo changes. After run(), `a*` of the active
+/// dimensionality holds the final state.
+struct Workspace {
+  int dims = 0;
+  int halo = 0;
+  long nx = 0, ny = 0, nz = 0;
+
+  std::optional<Grid1D> a1, b1, k1, ra1, rb1;
+  std::optional<Grid2D> a2, b2, ra2, rb2;
+  std::optional<Grid3D> a3, b3, ra3, rb3;
+};
+
+struct RunResult {
+  double seconds = 0;
+  double gflops = 0;      // useful flops: taps-based, identical across methods
+  double max_error = -1;  // vs naive reference, if verification requested
+  long points = 0;
+  int tsteps = 0;
+};
+
+/// Useful FLOPs per time step for a stencil at the given size.
+double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
+
+/// The method Auto resolves to for this stencil at this ISA: the deepest
+/// profitable fold (paper Eq. 3) whose vector path engages at the pattern's
+/// radius, falling back through the paper's method ordering.
+Method auto_method(const StencilSpec& spec, Isa isa);
+
+class Solver {
+ public:
+  static Solver make(Preset p) { return Solver(preset(p)); }
+  static Solver make(const StencilSpec& spec) { return Solver(spec); }
+
+  /// Copying a Solver copies its *specification* (stencil, size, method,
+  /// ...) but not the workspace grids: the copy starts with an empty
+  /// workspace and allocates on its first run. This keeps builder chains
+  /// assignable (`Solver s = Solver::make(p).method(...).steps(...);`).
+  Solver(const Solver& o)
+      : cfg_(o.cfg_), selected_(o.selected_), halo_(o.halo_) {}
+  Solver& operator=(const Solver& o) {
+    if (this != &o) {
+      cfg_ = o.cfg_;
+      selected_ = o.selected_;
+      halo_ = o.halo_;
+      ws_ = Workspace{};
+    }
+    return *this;
+  }
+
+  // ---- builder ----------------------------------------------------------
+  /// Problem extents; trailing dimensions are ignored below spec.dims.
+  /// Unset (0) extents default to the preset's fast-run size.
+  Solver& size(long nx, long ny = 0, long nz = 0);
+  Solver& steps(int tsteps);
+  Solver& method(Method m);
+  Solver& method(const std::string& name);  // string key, "auto" included
+  Solver& isa(Isa v);
+  Solver& tiled(bool on = true);
+  Solver& tiled(const TiledOptions& opts);  // implies tiled(true)
+  Solver& seed(std::uint64_t s);
+
+  // ---- resolved view ----------------------------------------------------
+  const StencilSpec& spec() const { return cfg_.spec; }
+  /// Selects the kernel (resolving Method::Auto via the cost model) and
+  /// fills defaulted sizes/steps. Throws std::invalid_argument if no kernel
+  /// is registered for the request. Idempotent.
+  Solver& resolve();
+  const KernelInfo& kernel();  // resolves first
+  int halo();                  // negotiated workspace halo; resolves first
+  long nx() { return resolve().cfg_.nx; }
+  long ny() { return resolve().cfg_.ny; }
+  long nz() { return resolve().cfg_.nz; }
+  int tsteps() { return resolve().cfg_.tsteps; }
+
+  // ---- execution --------------------------------------------------------
+  /// One timed run; result grids live in the Solver-owned workspace.
+  RunResult run() { return run_impl(false); }
+  /// One timed run *plus* an untimed naive-reference run on identical
+  /// inputs; fills RunResult::max_error. The measured kernel executes
+  /// exactly once (its own output is what gets verified).
+  RunResult run_verified() { return run_impl(true); }
+
+  /// The Solver-owned grids; populated by run()/run_verified().
+  const Workspace& workspace() const { return ws_; }
+
+ private:
+  /// The whole problem specification in one copyable bundle, so Solver's
+  /// copy operations cannot silently miss a future builder field.
+  struct Config {
+    StencilSpec spec;
+    Method method = Method::Auto;
+    Isa isa = Isa::Auto;
+    long nx = 0, ny = 0, nz = 0;
+    int tsteps = 0;
+    bool tiled = false;
+    TiledOptions tile_opts{};
+    std::uint64_t seed = 42;
+  };
+
+  explicit Solver(const StencilSpec& spec) { cfg_.spec = spec; }
+  RunResult run_impl(bool verify);
+
+  Config cfg_;
+  const KernelInfo* selected_ = nullptr;  // set by resolve()
+  int halo_ = 0;
+  Workspace ws_;
+};
+
+}  // namespace sf

@@ -4,6 +4,14 @@
 
 namespace sf {
 
+Profitability profitability(const Pattern1D& p, int m) {
+  Profitability r;
+  r.naive = naive_collect(p, m);
+  r.folded_scalar = folded_collect(p, m);
+  r.folded_vec = r.folded_scalar;  // no counterpart planning in 1-D
+  return r;
+}
+
 Profitability profitability(const Pattern2D& p, int m) {
   Profitability r;
   r.naive = naive_collect(p, m);

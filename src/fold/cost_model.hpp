@@ -45,6 +45,9 @@ struct Profitability {
   double index_vec() const { return double(naive) / double(folded_vec); }
 };
 
+/// 1-D folding has no counterpart basis: the transposed layout applies the
+/// folded pattern directly, so the vectorized collect equals the scalar one.
+Profitability profitability(const Pattern1D& p, int m);
 Profitability profitability(const Pattern2D& p, int m);
 Profitability profitability(const Pattern3D& p, int m);
 

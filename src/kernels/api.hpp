@@ -1,9 +1,14 @@
-// Kernel registry: one entry per (method, ISA, dimensionality).
+// Kernel method identifiers and executor signatures.
 //
 // Every kernel advances a Jacobi problem `tsteps` steps and leaves the final
 // state in grid `a` (grid `b` is scratch of identical shape/halo). Halos are
 // Dirichlet and never written. All kernels accept the stencil pattern at
 // runtime, so the same code serves every Table-1 benchmark.
+//
+// Kernel lookup lives in kernels/registry.hpp: executors self-register with
+// capability metadata (dims, ISA, halo, fold depth) and are found by method
+// enum or string key. The kernel1d/2d/3d free functions below are thin
+// shims over that registry, kept for one release.
 #pragma once
 
 #include <string>
@@ -22,6 +27,7 @@ enum class Method {
   DLT,            // dimension-lifting transpose (Henretty)
   Ours,           // paper's register-transpose layout, 1-step
   Ours2,          // + temporal computation folding, m = 2
+  Auto,           // Solver picks via the fold cost model (not a kernel)
 };
 
 const char* method_name(Method m);
@@ -33,15 +39,14 @@ using Run1D = void (*)(const Pattern1D& p, Grid1D& a, Grid1D& b,
 using Run2D = void (*)(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
 using Run3D = void (*)(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
 
-/// Returns the kernel for (method, isa); throws std::invalid_argument for
-/// combinations that do not exist (e.g. DLT at scalar width).
+/// Deprecated: registry shims. Use find_kernel() from kernels/registry.hpp.
+/// Throws std::invalid_argument for combinations that do not exist.
 Run1D kernel1d(Method m, Isa isa);
 Run2D kernel2d(Method m, Isa isa);
 Run3D kernel3d(Method m, Isa isa);
 
-/// Halo width a method needs for radius-r patterns with `tsteps` folding:
-/// 2r for the folded methods (m = 2), r otherwise — plus the grids must be
-/// allocated with at least this halo.
+/// Deprecated: method-wide worst-case halo (max over registered ISA levels).
+/// Use find_kernel(...)->required_halo(radius) for the per-kernel minimum.
 int required_halo(Method m, int pattern_radius);
 
 }  // namespace sf

@@ -23,7 +23,7 @@
 
 #include "fold/region.hpp"
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/kernels2d_impl.hpp"
 #include "simd/transpose.hpp"
 #include "simd/vecd.hpp"
@@ -275,35 +275,19 @@ template void folded2d_advance<8>(const Pattern2D&, const FoldingPlan&,
 }  // namespace sf::detail
 
 namespace sf {
+namespace {
 
-Run2D kernel2d(Method m, Isa isa) {
-  using namespace detail;
-  const Isa i = resolve_isa(isa);
-  switch (m) {
-    case Method::Naive:
-      return &run_naive2d;
-    case Method::MultipleLoads:
-      return i == Isa::Avx512 ? &run_ml2d<8>
-             : i == Isa::Avx2 ? &run_ml2d<4>
-                              : &run_ml2d<1>;
-    case Method::DataReorg:
-      return i == Isa::Avx512 ? &run_dr2d<8>
-             : i == Isa::Avx2 ? &run_dr2d<4>
-                              : &run_dr2d<1>;
-    case Method::DLT:
-      return i == Isa::Avx512 ? &run_dlt2d<8>
-             : i == Isa::Avx2 ? &run_dlt2d<4>
-                              : &run_dlt2d<1>;
-    case Method::Ours:
-      return i == Isa::Avx512 ? &run_ours1_2d<8>
-             : i == Isa::Avx2 ? &run_ours1_2d<4>
-                              : &run_ours1_2d<1>;
-    case Method::Ours2:
-      return i == Isa::Avx512 ? &run_ours2_2d<8>
-             : i == Isa::Avx2 ? &run_ours2_2d<4>
-                              : &run_ours2_2d<1>;
-  }
-  throw std::invalid_argument("unknown method");
-}
+// Folded-kernel registration. The folded pass applies power(p, 2), so the
+// halo scales with fold_depth = 2 and the vector path engages only while
+// 2r <= min(W, kMaxR2).
+const KernelRegistrar reg2d_folded{{
+    kernel2d_info(Method::Ours2, Isa::Scalar, 1, 2, &detail::run_ours2_2d<1>,
+                  /*halo_floor=*/0, /*max_radius=*/-1),
+    kernel2d_info(Method::Ours2, Isa::Avx2, 4, 2, &detail::run_ours2_2d<4>, 0,
+                  2),
+    kernel2d_info(Method::Ours2, Isa::Avx512, 8, 2, &detail::run_ours2_2d<8>,
+                  0, 2),
+}};
 
+}  // namespace
 }  // namespace sf

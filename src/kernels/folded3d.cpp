@@ -16,7 +16,7 @@
 #include "common/aligned_buffer.hpp"
 #include "fold/region.hpp"
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/kernels3d_impl.hpp"
 #include "simd/transpose.hpp"
 #include "simd/vecd.hpp"
@@ -254,35 +254,19 @@ template void run_ours2_3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
 }  // namespace sf::detail
 
 namespace sf {
+namespace {
 
-Run3D kernel3d(Method m, Isa isa) {
-  using namespace detail;
-  const Isa i = resolve_isa(isa);
-  switch (m) {
-    case Method::Naive:
-      return &run_naive3d;
-    case Method::MultipleLoads:
-      return i == Isa::Avx512 ? &run_ml3d<8>
-             : i == Isa::Avx2 ? &run_ml3d<4>
-                              : &run_ml3d<1>;
-    case Method::DataReorg:
-      return i == Isa::Avx512 ? &run_dr3d<8>
-             : i == Isa::Avx2 ? &run_dr3d<4>
-                              : &run_dr3d<1>;
-    case Method::DLT:
-      return i == Isa::Avx512 ? &run_dlt3d<8>
-             : i == Isa::Avx2 ? &run_dlt3d<4>
-                              : &run_dlt3d<1>;
-    case Method::Ours:
-      return i == Isa::Avx512 ? &run_ours1_3d<8>
-             : i == Isa::Avx2 ? &run_ours1_3d<4>
-                              : &run_ours1_3d<1>;
-    case Method::Ours2:
-      return i == Isa::Avx512 ? &run_ours2_3d<8>
-             : i == Isa::Avx2 ? &run_ours2_3d<4>
-                              : &run_ours2_3d<1>;
-  }
-  throw std::invalid_argument("unknown method");
-}
+// Folded-kernel registration: the folded pass applies power(p, 2) and the
+// plane window caps the folded radius at min(W, kMaxR3), so the vector path
+// engages only for r = 1 (exactly the 3-D presets).
+const KernelRegistrar reg3d_folded{{
+    kernel3d_info(Method::Ours2, Isa::Scalar, 1, 2, &detail::run_ours2_3d<1>,
+                  /*halo_floor=*/0, /*max_radius=*/-1),
+    kernel3d_info(Method::Ours2, Isa::Avx2, 4, 2, &detail::run_ours2_3d<4>, 0,
+                  1),
+    kernel3d_info(Method::Ours2, Isa::Avx512, 8, 2, &detail::run_ours2_3d<8>,
+                  0, 1),
+}};
 
+}  // namespace
 }  // namespace sf

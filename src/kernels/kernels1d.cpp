@@ -17,7 +17,7 @@
 
 #include "fold/region.hpp"
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/tl_access.hpp"
 #include "layout/dlt_layout.hpp"
 #include "simd/transpose.hpp"
@@ -363,35 +363,40 @@ void run_ours2_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
   grid_transpose_layout<W>(a);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Registration. Capabilities (see kernels/registry.hpp):
+//  * naive/multiple-loads read at most `radius` beyond the interior;
+//  * data-reorg's aligned L/C/R loads touch one full vector beyond it
+//    (halo_floor = W) and its shifts reach at most W (max_radius = W);
+//  * the transpose-layout methods assemble edge lanes from scalar halo
+//    reads, so plain `radius` halo suffices; folding (m = 2) doubles it;
+//  * Ours2's folded pass needs power(p, 2).radius() = 2r <= W.
+// ---------------------------------------------------------------------------
+const KernelRegistrar reg1d{{
+    // Naive is ISA-independent scalar code; it is registered at every
+    // level so exact-ISA lookups succeed, with width 1 reflecting how it
+    // actually executes.
+    kernel1d_info(Method::Naive, Isa::Scalar, 1, 1, &run_naive1d),
+    kernel1d_info(Method::Naive, Isa::Avx2, 1, 1, &run_naive1d),
+    kernel1d_info(Method::Naive, Isa::Avx512, 1, 1, &run_naive1d),
+    kernel1d_info(Method::MultipleLoads, Isa::Scalar, 1, 1, &run_ml1d<1>),
+    kernel1d_info(Method::MultipleLoads, Isa::Avx2, 4, 1, &run_ml1d<4>),
+    kernel1d_info(Method::MultipleLoads, Isa::Avx512, 8, 1, &run_ml1d<8>),
+    kernel1d_info(Method::DataReorg, Isa::Scalar, 1, 1, &run_dr1d<1>,
+                  /*halo_floor=*/1, /*max_radius=*/1),
+    kernel1d_info(Method::DataReorg, Isa::Avx2, 4, 1, &run_dr1d<4>, 4, 4),
+    kernel1d_info(Method::DataReorg, Isa::Avx512, 8, 1, &run_dr1d<8>, 8, 8),
+    kernel1d_info(Method::DLT, Isa::Scalar, 1, 1, &run_dlt1d<1>),
+    kernel1d_info(Method::DLT, Isa::Avx2, 4, 1, &run_dlt1d<4>),
+    kernel1d_info(Method::DLT, Isa::Avx512, 8, 1, &run_dlt1d<8>),
+    kernel1d_info(Method::Ours, Isa::Scalar, 1, 1, &run_ours1_1d<1>, 0, 1),
+    kernel1d_info(Method::Ours, Isa::Avx2, 4, 1, &run_ours1_1d<4>, 0, 4),
+    kernel1d_info(Method::Ours, Isa::Avx512, 8, 1, &run_ours1_1d<8>, 0, 8),
+    kernel1d_info(Method::Ours2, Isa::Scalar, 1, 2, &run_ours2_1d<1>, 0, -1),
+    kernel1d_info(Method::Ours2, Isa::Avx2, 4, 2, &run_ours2_1d<4>, 0, 2),
+    kernel1d_info(Method::Ours2, Isa::Avx512, 8, 2, &run_ours2_1d<8>, 0, 4),
+}};
 
-Run1D kernel1d(Method m, Isa isa) {
-  const Isa i = resolve_isa(isa);
-  switch (m) {
-    case Method::Naive:
-      return &run_naive1d;
-    case Method::MultipleLoads:
-      return i == Isa::Avx512 ? &run_ml1d<8>
-             : i == Isa::Avx2 ? &run_ml1d<4>
-                              : &run_ml1d<1>;
-    case Method::DataReorg:
-      return i == Isa::Avx512 ? &run_dr1d<8>
-             : i == Isa::Avx2 ? &run_dr1d<4>
-                              : &run_dr1d<1>;
-    case Method::DLT:
-      return i == Isa::Avx512 ? &run_dlt1d<8>
-             : i == Isa::Avx2 ? &run_dlt1d<4>
-                              : &run_dlt1d<1>;
-    case Method::Ours:
-      return i == Isa::Avx512 ? &run_ours1_1d<8>
-             : i == Isa::Avx2 ? &run_ours1_1d<4>
-                              : &run_ours1_1d<1>;
-    case Method::Ours2:
-      return i == Isa::Avx512 ? &run_ours2_1d<8>
-             : i == Isa::Avx2 ? &run_ours2_1d<4>
-                              : &run_ours2_1d<1>;
-  }
-  throw std::invalid_argument("unknown method");
-}
+}  // namespace
 
 }  // namespace sf

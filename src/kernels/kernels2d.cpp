@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/kernels2d_impl.hpp"
 #include "kernels/tl_access.hpp"
 #include "layout/dlt_layout.hpp"
@@ -291,3 +291,42 @@ template void step_region_ml2d<8>(const Pattern2D&, const Grid2D&, Grid2D&, int,
                                   int, int, int);
 
 }  // namespace sf::detail
+
+namespace sf {
+namespace {
+
+// Baseline + 1-step transpose-layout registrations; the folded method
+// (ours-2step) registers in folded2d.cpp. See the 1-D block in
+// kernels1d.cpp for the capability rationale.
+const KernelRegistrar reg2d{{
+    // Naive executes at width 1 regardless of the registered ISA level
+    // (see kernels1d.cpp).
+    kernel2d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive2d),
+    kernel2d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive2d),
+    kernel2d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive2d),
+    kernel2d_info(Method::MultipleLoads, Isa::Scalar, 1, 1,
+                  &detail::run_ml2d<1>),
+    kernel2d_info(Method::MultipleLoads, Isa::Avx2, 4, 1,
+                  &detail::run_ml2d<4>),
+    kernel2d_info(Method::MultipleLoads, Isa::Avx512, 8, 1,
+                  &detail::run_ml2d<8>),
+    kernel2d_info(Method::DataReorg, Isa::Scalar, 1, 1, &detail::run_dr2d<1>,
+                  /*halo_floor=*/1, /*max_radius=*/1),
+    kernel2d_info(Method::DataReorg, Isa::Avx2, 4, 1, &detail::run_dr2d<4>, 4,
+                  4),
+    kernel2d_info(Method::DataReorg, Isa::Avx512, 8, 1, &detail::run_dr2d<8>,
+                  8, 8),
+    kernel2d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt2d<1>),
+    kernel2d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt2d<4>),
+    kernel2d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt2d<8>),
+    // step_rows_tl2d's row-vector scratch caps the radius at min(W, 4).
+    kernel2d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_2d<1>,
+                  0, 1),
+    kernel2d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_2d<4>, 0,
+                  4),
+    kernel2d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_2d<8>,
+                  0, 4),
+}};
+
+}  // namespace
+}  // namespace sf

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/kernels3d_impl.hpp"
 #include "kernels/tl_access.hpp"
 #include "layout/dlt_layout.hpp"
@@ -289,3 +289,42 @@ template void step_region_ml3d<8>(const Pattern3D&, const Grid3D&, Grid3D&, int,
                                   int, int, int, int, int);
 
 }  // namespace sf::detail
+
+namespace sf {
+namespace {
+
+// Baseline + 1-step transpose-layout registrations; the folded method
+// (ours-2step) registers in folded3d.cpp. See the 1-D block in
+// kernels1d.cpp for the capability rationale.
+const KernelRegistrar reg3d{{
+    // Naive executes at width 1 regardless of the registered ISA level
+    // (see kernels1d.cpp).
+    kernel3d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive3d),
+    kernel3d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive3d),
+    kernel3d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive3d),
+    kernel3d_info(Method::MultipleLoads, Isa::Scalar, 1, 1,
+                  &detail::run_ml3d<1>),
+    kernel3d_info(Method::MultipleLoads, Isa::Avx2, 4, 1,
+                  &detail::run_ml3d<4>),
+    kernel3d_info(Method::MultipleLoads, Isa::Avx512, 8, 1,
+                  &detail::run_ml3d<8>),
+    kernel3d_info(Method::DataReorg, Isa::Scalar, 1, 1, &detail::run_dr3d<1>,
+                  /*halo_floor=*/1, /*max_radius=*/1),
+    kernel3d_info(Method::DataReorg, Isa::Avx2, 4, 1, &detail::run_dr3d<4>, 4,
+                  4),
+    kernel3d_info(Method::DataReorg, Isa::Avx512, 8, 1, &detail::run_dr3d<8>,
+                  8, 8),
+    kernel3d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt3d<1>),
+    kernel3d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt3d<4>),
+    kernel3d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt3d<8>),
+    // step_planes_tl3d's row-group scratch caps the radius at min(W, 2).
+    kernel3d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_3d<1>,
+                  0, 1),
+    kernel3d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_3d<4>, 0,
+                  2),
+    kernel3d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_3d<8>,
+                  0, 2),
+}};
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,143 @@
+// Capability-driven kernel registry.
+//
+// Every executor translation unit registers its kernels at static-init time
+// through a KernelRegistrar object; nothing outside that TU has to change to
+// add a method, an ISA level, or a dimensionality. Consumers look kernels up
+// by (method | name, dims, isa) or enumerate `available_kernels(dims, isa)`
+// — the bench harnesses iterate that enumeration instead of hand-kept
+// method lists.
+//
+// Each entry carries the capability metadata the Solver negotiates against:
+//  * required_halo(radius) — the minimum grid halo this kernel needs for a
+//    pattern of that radius (fold_depth * radius, floored by any extra the
+//    vector path reads, e.g. one full vector for data-reorg's aligned
+//    L/C/R loads);
+//  * fold_depth — temporal folding factor m (1 = no folding);
+//  * supports(radius) — whether the *optimized* path engages at this
+//    radius. Every kernel still runs correctly outside that range (they
+//    fall back internally), but auto-selection uses this to avoid picking
+//    a method whose vector path would silently degrade.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "kernels/api.hpp"
+
+namespace sf {
+
+struct KernelInfo {
+  const char* name;  // string key, e.g. "ours-2step" (method_name(method))
+  Method method;
+  int dims;       // 1, 2 or 3
+  Isa isa;        // concrete level: Scalar, Avx2 or Avx512
+  int width;      // SIMD lanes in doubles (1, 4, 8)
+  int fold_depth; // temporal folding factor m; 1 = single-step
+  int halo_floor; // extra halo the vector path reads beyond fold_depth*r
+  int max_radius; // largest pattern radius the optimized path handles
+                  // (0 = any, -1 = never engages); beyond it the kernel
+                  // falls back internally
+
+  // Exactly one of these is non-null, matching `dims`.
+  Run1D run1 = nullptr;
+  Run2D run2 = nullptr;
+  Run3D run3 = nullptr;
+
+  /// Minimum halo width grids must be allocated with for radius-r patterns.
+  int required_halo(int radius) const {
+    const int h = fold_depth * radius;
+    return halo_floor > h ? halo_floor : h;
+  }
+
+  /// True if the optimized (vectorized/folded) path engages at this radius.
+  bool supports(int radius) const {
+    if (max_radius < 0) return false;
+    return max_radius == 0 || radius <= max_radius;
+  }
+};
+
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  void add(KernelInfo info);
+
+  /// Lookup by method enum or string key. `isa` may be Isa::Auto (resolved
+  /// to the widest CPU-supported level). Returns nullptr if no such kernel
+  /// is registered.
+  const KernelInfo* find(Method m, int dims, Isa isa = Isa::Auto) const;
+  const KernelInfo* find(std::string_view name, int dims,
+                         Isa isa = Isa::Auto) const;
+
+  /// All kernels registered for `dims`. With a concrete `isa`, exactly the
+  /// entries at that level; with Isa::Auto, every entry the running CPU can
+  /// execute. Sorted by (method, isa) for deterministic enumeration.
+  std::vector<const KernelInfo*> available(int dims,
+                                           Isa isa = Isa::Auto) const;
+
+  /// Every registered entry, unfiltered (registry introspection/tests).
+  std::vector<const KernelInfo*> all() const;
+
+ private:
+  KernelRegistry() = default;
+  // Deque, not vector: find()/available() hand out KernelInfo* that must
+  // survive later add() calls (static registration order across TUs is
+  // unspecified).
+  std::deque<KernelInfo> entries_;
+};
+
+/// Free-function forms used throughout the benches/examples.
+std::vector<const KernelInfo*> available_kernels(int dims,
+                                                 Isa isa = Isa::Auto);
+const KernelInfo* find_kernel(Method m, int dims, Isa isa = Isa::Auto);
+const KernelInfo* find_kernel(std::string_view name, int dims,
+                              Isa isa = Isa::Auto);
+
+/// Like find_kernel(), but throws std::invalid_argument naming the missing
+/// (method, dims, isa) combination instead of returning nullptr — use when
+/// the kernel is expected to exist and a null deref would otherwise be the
+/// failure mode.
+const KernelInfo& require_kernel(Method m, int dims, Isa isa = Isa::Auto);
+const KernelInfo& require_kernel(std::string_view name, int dims,
+                                 Isa isa = Isa::Auto);
+
+/// Parses a method string key ("naive", "ours-2step", "auto", ...);
+/// throws std::invalid_argument for unknown names.
+Method method_from_name(std::string_view name);
+
+/// Registers a batch of kernels at static-init time. Each kernel TU owns
+/// one of these; adding a kernel touches only its own TU.
+struct KernelRegistrar {
+  explicit KernelRegistrar(std::initializer_list<KernelInfo> infos) {
+    for (const KernelInfo& i : infos) KernelRegistry::instance().add(i);
+  }
+};
+
+/// Convenience builders keeping registration lines short. `halo_floor` and
+/// `max_radius` default to the common case (no extra halo, any radius).
+inline KernelInfo kernel1d_info(Method m, Isa isa, int width, int fold,
+                                Run1D fn, int halo_floor = 0,
+                                int max_radius = 0) {
+  return KernelInfo{method_name(m), m,    1,          isa, width,
+                    fold,           halo_floor, max_radius, fn,
+                    nullptr,        nullptr};
+}
+inline KernelInfo kernel2d_info(Method m, Isa isa, int width, int fold,
+                                Run2D fn, int halo_floor = 0,
+                                int max_radius = 0) {
+  return KernelInfo{method_name(m), m,    2,          isa, width,
+                    fold,           halo_floor, max_radius, nullptr,
+                    fn,             nullptr};
+}
+inline KernelInfo kernel3d_info(Method m, Isa isa, int width, int fold,
+                                Run3D fn, int halo_floor = 0,
+                                int max_radius = 0) {
+  return KernelInfo{method_name(m), m,    3,          isa, width,
+                    fold,           halo_floor, max_radius, nullptr,
+                    nullptr,        fn};
+}
+
+}  // namespace sf

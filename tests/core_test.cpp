@@ -1,5 +1,7 @@
 // Public API: every (preset x method x tiled) combination must verify
-// against the reference through the same entry points the benchmarks use.
+// against the reference through the same entry point the benchmarks use —
+// now the Solver facade; the deprecated ProblemConfig shims are covered by
+// a separate back-compat test below.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -29,20 +31,20 @@ class CoreApi : public ::testing::TestWithParam<Case> {};
 TEST_P(CoreApi, RunVerifiedIsExact) {
   const Case c = GetParam();
   const auto& spec = preset(c.preset);
-  ProblemConfig cfg;
-  cfg.preset = c.preset;
-  cfg.method = c.method;
-  cfg.tiled = c.tiled;
+  Solver s = Solver::make(c.preset).method(c.method).steps(8);
   // Small but multi-tile sizes so the verification is fast yet meaningful.
   switch (spec.dims) {
-    case 1: cfg.nx = 3000; break;
-    case 2: cfg.nx = 80; cfg.ny = 72; break;
-    case 3: cfg.nx = 40; cfg.ny = 24; cfg.nz = 20; break;
+    case 1: s.size(3000); break;
+    case 2: s.size(80, 72); break;
+    case 3: s.size(40, 24, 20); break;
   }
-  cfg.tsteps = 8;
-  cfg.tile_opts.threads = 3;
+  if (c.tiled) {
+    TiledOptions opts;
+    opts.threads = 3;
+    s.tiled(opts);
+  }
 
-  RunResult r = run_verified(cfg);
+  RunResult r = s.run_verified();
   EXPECT_GE(r.max_error, 0.0);
   EXPECT_LE(r.max_error, 1e-10);
   EXPECT_GT(r.gflops, 0.0);
@@ -53,7 +55,7 @@ std::vector<Case> make_cases() {
   std::vector<Case> v;
   for (const auto& spec : all_presets())
     for (Method m : {Method::Naive, Method::MultipleLoads, Method::DataReorg,
-                     Method::DLT, Method::Ours, Method::Ours2})
+                     Method::DLT, Method::Ours, Method::Ours2, Method::Auto})
       for (bool tiled : {false, true}) v.push_back({spec.id, m, tiled});
   return v;
 }
@@ -61,7 +63,26 @@ std::vector<Case> make_cases() {
 INSTANTIATE_TEST_SUITE_P(Sweep, CoreApi, ::testing::ValuesIn(make_cases()),
                          case_name);
 
-TEST(CoreApi, ResolveFillsDefaults) {
+TEST(CoreApi, GflopsConsistentAcrossMethods) {
+  // Same useful-flops convention for every method: gflops * seconds equal.
+  RunResult a = Solver::make(Preset::Heat2D)
+                    .size(200, 200)
+                    .steps(10)
+                    .method(Method::Naive)
+                    .run();
+  RunResult b = Solver::make(Preset::Heat2D)
+                    .size(200, 200)
+                    .steps(10)
+                    .method(Method::Ours2)
+                    .run();
+  EXPECT_NEAR(a.gflops * a.seconds, b.gflops * b.seconds, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated ProblemConfig shims (kept for one release).
+// ---------------------------------------------------------------------------
+
+TEST(LegacyShims, ResolveFillsDefaults) {
   ProblemConfig cfg;
   cfg.preset = Preset::Heat3D;
   ProblemConfig r = resolve(cfg);
@@ -69,6 +90,54 @@ TEST(CoreApi, ResolveFillsDefaults) {
   EXPECT_EQ(r.nz, preset(Preset::Heat3D).small_size[2]);
   EXPECT_GT(r.tsteps, 0);
   EXPECT_EQ(r.tile_opts.method, r.method);
+}
+
+TEST(LegacyShims, ResolvePreservesTileOptions) {
+  ProblemConfig cfg;
+  cfg.preset = Preset::Heat2D;
+  cfg.method = Method::Ours;
+  cfg.isa = Isa::Avx2;
+  cfg.tile_opts.tile = 37;
+  cfg.tile_opts.time_block = 5;
+  cfg.tile_opts.threads = 2;
+  ProblemConfig r = resolve(cfg);
+  EXPECT_EQ(r.tile_opts.tile, 37);
+  EXPECT_EQ(r.tile_opts.time_block, 5);
+  EXPECT_EQ(r.tile_opts.threads, 2);
+  // method/isa are stamped from the problem-level choice.
+  EXPECT_EQ(r.tile_opts.method, Method::Ours);
+  EXPECT_EQ(r.tile_opts.isa, Isa::Avx2);
+}
+
+TEST(LegacyShims, ResolveDefaultsPerDimensionality) {
+  for (Preset p : {Preset::Heat1D, Preset::Box2D9, Preset::Box3D27}) {
+    const auto& spec = preset(p);
+    ProblemConfig cfg;
+    cfg.preset = p;
+    ProblemConfig r = resolve(cfg);
+    EXPECT_EQ(r.nx, spec.small_size[0]) << spec.name;
+    EXPECT_EQ(r.ny, spec.dims >= 2 ? spec.small_size[1] : 1) << spec.name;
+    EXPECT_EQ(r.nz, spec.dims >= 3 ? spec.small_size[2] : 1) << spec.name;
+    EXPECT_EQ(r.tsteps, spec.small_tsteps) << spec.name;
+  }
+}
+
+TEST(LegacyShims, RunProblemAndRunVerifiedStillWork) {
+  ProblemConfig cfg;
+  cfg.preset = Preset::Heat2D;
+  cfg.method = Method::Ours2;
+  cfg.nx = 64;
+  cfg.ny = 60;
+  cfg.tsteps = 6;
+  RunResult r = run_problem(cfg);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_EQ(r.points, 64 * 60);
+  EXPECT_EQ(r.tsteps, 6);
+  EXPECT_LT(r.max_error, 0.0);  // no verification requested
+
+  RunResult v = run_verified(cfg);
+  EXPECT_GE(v.max_error, 0.0);
+  EXPECT_LE(v.max_error, 1e-11);
 }
 
 TEST(CoreApi, FlopsAccountingMatchesTapCounts) {
@@ -80,17 +149,19 @@ TEST(CoreApi, FlopsAccountingMatchesTapCounts) {
                    100 * (5 + 2 * 1.0));
 }
 
-TEST(CoreApi, GflopsConsistentAcrossMethods) {
-  // Same useful-flops convention for every method: gflops * seconds equal.
-  ProblemConfig cfg;
-  cfg.preset = Preset::Heat2D;
-  cfg.nx = cfg.ny = 200;
-  cfg.tsteps = 10;
-  cfg.method = Method::Naive;
-  RunResult a = run_problem(cfg);
-  cfg.method = Method::Ours2;
-  RunResult b = run_problem(cfg);
-  EXPECT_NEAR(a.gflops * a.seconds, b.gflops * b.seconds, 1e-9);
+TEST(CoreApi, FlopsAccountingSourceTermBranch) {
+  // The 1-D has_source branch adds one FMA (2 flops) per source tap;
+  // derived from the preset's own tap counts rather than magic numbers.
+  const auto& apop = preset(Preset::Apop);
+  ASSERT_TRUE(apop.has_source);
+  EXPECT_DOUBLE_EQ(
+      flops_per_step(apop, 1000, 1, 1),
+      1000.0 * (apop.p1.flops_per_point() + 2.0 * double(apop.src1.size())));
+  // Non-source 1-D presets must not pick up the extra term.
+  const auto& p1d5 = preset(Preset::P1D5);
+  ASSERT_FALSE(p1d5.has_source);
+  EXPECT_DOUBLE_EQ(flops_per_step(p1d5, 1000, 1, 1),
+                   1000.0 * p1d5.p1.flops_per_point());
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 
 #include "common/cpu.hpp"
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "kernels/kernels2d_impl.hpp"
 #include "stencil/presets.hpp"
 #include "stencil/reference.hpp"
@@ -40,7 +40,10 @@ TEST_P(Kernel2D, MatchesReference) {
   const Case c = GetParam();
   if (c.isa == Isa::Avx512 && !cpu_has_avx512()) GTEST_SKIP();
   const auto& spec = preset(c.preset);
-  const int halo = required_halo(c.method, spec.p2.radius());
+  const KernelInfo* kern = find_kernel(c.method, 2, c.isa);
+  ASSERT_NE(kern, nullptr);
+  // Declared-minimum-halo regression: see kernels1d_test.
+  const int halo = kern->required_halo(spec.p2.radius());
 
   Grid2D a(c.ny, c.nx, halo), b(c.ny, c.nx, halo);
   Grid2D ra(c.ny, c.nx, halo), rb(c.ny, c.nx, halo);
@@ -50,7 +53,7 @@ TEST_P(Kernel2D, MatchesReference) {
   copy(a, rb);
 
   run_reference(spec.p2, ra, rb, c.tsteps);
-  kernel2d(c.method, c.isa)(spec.p2, a, b, c.tsteps);
+  kern->run2(spec.p2, a, b, c.tsteps);
 
   const double tol = 1e-12 * std::max(1.0, max_abs(ra));
   EXPECT_LE(max_abs_diff(a, ra), tol);
@@ -109,7 +112,7 @@ TEST(Kernel2D, ScratchGridRestored) {
   copy(a, b);
   Grid2D bhalo(ny, nx, halo);
   copy(b, bhalo);
-  kernel2d(Method::Ours, Isa::Avx2)(spec.p2, a, b, 3);
+  require_kernel(Method::Ours, 2, Isa::Avx2).run2(spec.p2, a, b, 3);
   for (int x = -halo; x < nx + halo; ++x)
     EXPECT_DOUBLE_EQ(b.at(-1, x), bhalo.at(-1, x));
 }

@@ -6,7 +6,7 @@
 
 #include "common/cpu.hpp"
 #include "grid/grid_utils.hpp"
-#include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "stencil/presets.hpp"
 #include "stencil/reference.hpp"
 
@@ -38,7 +38,10 @@ TEST_P(Kernel3D, MatchesReference) {
   const Case c = GetParam();
   if (c.isa == Isa::Avx512 && !cpu_has_avx512()) GTEST_SKIP();
   const auto& spec = preset(c.preset);
-  const int halo = required_halo(c.method, spec.p3.radius());
+  const KernelInfo* kern = find_kernel(c.method, 3, c.isa);
+  ASSERT_NE(kern, nullptr);
+  // Declared-minimum-halo regression: see kernels1d_test.
+  const int halo = kern->required_halo(spec.p3.radius());
 
   Grid3D a(c.nz, c.ny, c.nx, halo), b(c.nz, c.ny, c.nx, halo);
   Grid3D ra(c.nz, c.ny, c.nx, halo), rb(c.nz, c.ny, c.nx, halo);
@@ -48,7 +51,7 @@ TEST_P(Kernel3D, MatchesReference) {
   copy(a, rb);
 
   run_reference(spec.p3, ra, rb, c.tsteps);
-  kernel3d(c.method, c.isa)(spec.p3, a, b, c.tsteps);
+  kern->run3(spec.p3, a, b, c.tsteps);
 
   const double tol = 1e-12 * std::max(1.0, max_abs(ra));
   EXPECT_LE(max_abs_diff(a, ra), tol);

@@ -7,6 +7,7 @@
 
 #include "common/cpu.hpp"
 #include "grid/grid_utils.hpp"
+#include "kernels/registry.hpp"
 #include "stencil/presets.hpp"
 #include "stencil/reference.hpp"
 #include "tiling/split_tiling.hpp"
@@ -65,7 +66,9 @@ TEST_P(Tiled, MatchesReference) {
   opt.threads = 4;
 
   if (c.dims == 1) {
-    const int halo = required_halo(c.method, spec.p1.radius());
+    const int radius =
+        std::max(spec.p1.radius(), spec.has_source ? spec.src1.radius() : 0);
+    const int halo = require_kernel(c.method, 1).required_halo(radius);
     Grid1D a(c.n0, halo), b(c.n0, halo), ra(c.n0, halo), rb(c.n0, halo);
     Grid1D k(c.n0, halo);
     fill_random(a, 99 + c.n0);
@@ -79,7 +82,7 @@ TEST_P(Tiled, MatchesReference) {
     run_tiled(spec.p1, a, b, src, kk, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
   } else if (c.dims == 2) {
-    const int halo = required_halo(c.method, spec.p2.radius());
+    const int halo = require_kernel(c.method, 2).required_halo(spec.p2.radius());
     Grid2D a(c.n0, c.n1, halo), b(c.n0, c.n1, halo);
     Grid2D ra(c.n0, c.n1, halo), rb(c.n0, c.n1, halo);
     fill_random(a, 31 + c.n0);
@@ -90,7 +93,7 @@ TEST_P(Tiled, MatchesReference) {
     run_tiled(spec.p2, a, b, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
   } else {
-    const int halo = required_halo(c.method, spec.p3.radius());
+    const int halo = require_kernel(c.method, 3).required_halo(spec.p3.radius());
     Grid3D a(c.n0, c.n1, c.n2, halo), b(c.n0, c.n1, c.n2, halo);
     Grid3D ra(c.n0, c.n1, c.n2, halo), rb(c.n0, c.n1, c.n2, halo);
     fill_random(a, 77 + c.n0);
@@ -140,7 +143,7 @@ TEST(Tiled, ThreadCountInvariance) {
   // are disjoint).
   const auto& spec = preset(Preset::Box2D9);
   const int ny = 96, nx = 64, tsteps = 12;
-  const int halo = required_halo(Method::Ours2, spec.p2.radius());
+  const int halo = require_kernel(Method::Ours2, 2).required_halo(spec.p2.radius());
   Grid2D ref(ny, nx, halo), refb(ny, nx, halo);
   fill_random(ref, 1);
   copy(ref, refb);
@@ -165,7 +168,7 @@ TEST(Tiled, LongHorizon) {
   // Many time blocks back to back.
   const auto& spec = preset(Preset::Heat1D);
   const int n = 2048, tsteps = 64;
-  const int halo = required_halo(Method::Ours2, spec.p1.radius());
+  const int halo = require_kernel(Method::Ours2, 1).required_halo(spec.p1.radius());
   Grid1D a(n, halo), b(n, halo), ra(n, halo), rb(n, halo);
   fill_random(a, 3);
   copy(a, b);
