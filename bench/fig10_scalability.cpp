@@ -28,11 +28,8 @@ int main() {
           row.push_back("-");
           continue;
         }
-        TiledOptions opts;
-        opts.threads = c;
-        Solver s =
-            Solver::make(spec.id).method(m.kernel).isa(m.isa).tiled(opts);
-        bench::apply_bench_size(s, spec, full);
+        Solver s = bench::competitor_solver(m, spec, full);
+        s.threads(c);
         row.push_back(Table::num(s.run().gflops));
       }
       t.add_row(row);

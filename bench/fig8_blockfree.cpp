@@ -32,11 +32,15 @@ int main() {
       double best = 0;
       std::string bestname;
       for (const KernelInfo* k : methods) {
+        // Blocking-free by definition: pin Tiling::Off so the planner's
+        // Auto cost model cannot switch the tileable methods to the
+        // parallel split-tiled path at the large sweep sizes.
         Solver s = Solver::make(Preset::Heat1D)
                        .method(k->method)
                        .isa(k->isa)
                        .size(n)
-                       .steps(tsteps);
+                       .steps(tsteps)
+                       .tiling(Tiling::Off);
         RunResult r = bench::measure(s);
         row.push_back(Table::num(r.gflops));
         if (r.gflops > best) {

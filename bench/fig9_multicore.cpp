@@ -30,8 +30,7 @@ int main() {
         row.push_back("-");
         continue;
       }
-      Solver s = Solver::make(spec.id).method(m.kernel).isa(m.isa).tiled();
-      bench::apply_bench_size(s, spec, full);
+      Solver s = bench::competitor_solver(m, spec, full);
       RunResult r = bench::measure(s);
       row.push_back(Table::num(r.gflops));
       if (base == 0) base = r.gflops;  // first column (sdsl) is the base

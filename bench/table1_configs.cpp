@@ -29,16 +29,20 @@ int main() {
   bench::emit(t, "table1_configs");
 
   Table k({"Dims", "Kernel", "ISA", "W", "fold m", "halo(r=1)", "halo(r=2)",
-           "vec path"});
+           "vec path", "tiled stage"});
   for (int dims = 1; dims <= 3; ++dims)
     for (const KernelInfo* info : available_kernels(dims)) {
-      std::string vec = info->max_radius < 0    ? "never"
-                        : info->max_radius == 0 ? "any r"
-                                                : "r<=" + std::to_string(info->max_radius);
+      auto radius_range = [](int max_r) {
+        return max_r < 0    ? std::string("never")
+               : max_r == 0 ? std::string("any r")
+                            : "r<=" + std::to_string(max_r);
+      };
       k.add_row({std::to_string(dims) + "D", info->name, isa_name(info->isa),
                  std::to_string(info->width), std::to_string(info->fold_depth),
                  std::to_string(info->required_halo(1)),
-                 std::to_string(info->required_halo(2)), vec});
+                 std::to_string(info->required_halo(2)),
+                 radius_range(info->max_radius),
+                 radius_range(info->tiled_max_radius)});
     }
   std::cout << "Kernel registry (CPU-supported entries)\n";
   bench::emit(k, "table1_kernels");

@@ -26,11 +26,15 @@ int main() {
     const std::string level = bench::storage_level(2.0 * static_cast<double>(n) * 8);
     double base = 0;
     for (const KernelInfo* k : methods) {
+      // Single-thread, blocking-free rows: pin Tiling::Off so every method
+      // stays on the serial untiled path at L3/Mem sizes (the ratios
+      // measure vectorization, not parallel tiling).
       Solver s = Solver::make(Preset::Heat1D)
                      .method(k->method)
                      .isa(k->isa)
                      .size(n)
-                     .steps(tsteps);
+                     .steps(tsteps)
+                     .tiling(Tiling::Off);
       RunResult r = bench::measure(s);
       if (k->method == Method::MultipleLoads) base = r.gflops;
       auto& slot = acc[level][k->name];

@@ -26,11 +26,8 @@ int main() {
       }
       double g[2] = {0, 0};
       for (int i = 0; i < 2; ++i) {
-        TiledOptions opts;
-        opts.threads = i == 0 ? 1 : maxthreads;
-        Solver s =
-            Solver::make(spec.id).method(m.kernel).isa(m.isa).tiled(opts);
-        bench::apply_bench_size(s, spec, full);
+        Solver s = bench::competitor_solver(m, spec, full);
+        s.threads(i == 0 ? 1 : maxthreads);
         g[i] = s.run().gflops;
       }
       row.push_back(Table::num(g[1] / g[0], 1) + "x");

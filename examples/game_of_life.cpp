@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
   // --- Throughput benchmark (paper's Game of Life row). -------------------
   Solver solver =
-      Solver::make(Preset::Life).size(n, n).steps(steps).tiled(true);
+      Solver::make(Preset::Life).size(n, n).steps(steps).tiling(Tiling::On);
   RunResult ours = solver.method("ours-2step").run();
   RunResult tess = solver.method("naive").run();
   std::cout << "surrogate kernel " << n << "^2, T=" << steps << ": our-2step "

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
                        .size(n)
                        .steps(steps)
                        .method("ours-2step")
-                       .tiled(true)
+                       .tiling(Tiling::On)
                        .run();
   RunResult base = Solver::make(Preset::Apop)
                        .size(n)
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
                         .size(10000)
                         .steps(20)
                         .method(Method::Ours2)
-                        .tiled(true)
+                        .tiling(Tiling::On)
                         .run_verified();
   std::cout << "  folded-vs-reference max error (n=10000, T=20): "
             << check.max_error << "\n";

@@ -18,17 +18,28 @@ int main(int argc, char** argv) {
   std::cout << "Stencil: " << heat.name << " " << to_string(heat.p2) << "\n";
 
   // 2. Configure and run. "ours-2step" = register-transpose vectorization +
-  //    temporal computation folding (m = 2); tiled = temporal split tiling
-  //    across all cores. Leaving the method unset (Method::Auto) would let
-  //    the fold cost model pick.
+  //    temporal computation folding (m = 2); Tiling::On = temporal split
+  //    tiling across all cores with auto-negotiated tile geometry (add
+  //    .tune(true) to measure-and-cache the best tile instead). Leaving the
+  //    method unset (Method::Auto) would let the fold cost model pick, and
+  //    leaving tiling at Tiling::Auto lets the planner's cost model decide.
   Solver solver = Solver::make(Preset::Heat2D)
                       .size(n, n)
                       .steps(steps)
                       .method("ours-2step")
-                      .tiled(true);
+                      .tiling(Tiling::On);
   std::cout << "Selected kernel: " << solver.kernel().name << " @ "
             << isa_name(solver.kernel().isa)
             << " (negotiated halo " << solver.halo() << ")\n";
+  const ExecutionPlan& plan = solver.plan();
+  if (plan.tiled)
+    std::cout << "Execution plan: split-tiled, tile " << plan.tile.tile
+              << ", time block " << plan.tile.time_block << ", threads "
+              << plan.tile.threads << " (" << plan_source_name(plan.source)
+              << ")\n";
+  else
+    std::cout << "Execution plan: untiled (" << plan_source_name(plan.source)
+              << ")\n";
 
   RunResult r = solver.run_verified();
   std::cout << n << "x" << n << ", " << steps << " steps: " << r.seconds

@@ -60,9 +60,12 @@ int main(int argc, char** argv) {
 
   const double var0 = variance(v);
   Timer t;
-  TiledOptions opt;
-  opt.method = Method::Ours2;
-  run_tiled(spec.p3, v, scratch, steps, opt);
+  // Bring-your-own-grids tiled execution: the Solver path owns its
+  // workspace, so custom initial data runs the engine directly with a
+  // TilePlan (geometry gaps auto-negotiated, as Solver::run would).
+  TilePlan plan;
+  plan.method = Method::Ours2;
+  run_tile_plan(spec.p3, v, scratch, steps, plan);
   const double secs = t.seconds();
   const double var1 = variance(v);
 

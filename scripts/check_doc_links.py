@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Link checker for the repository's markdown documentation.
+
+Scans README.md and docs/*.md for markdown links and images, and verifies
+that every *relative* target exists in the repository (with GitHub-style
+heading-anchor validation for `file.md#section` and `#section` fragments).
+External http(s)/mailto links are not fetched — CI must not depend on the
+network — but their syntax is still exercised by the markdown parse.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link).  Run from anywhere; paths are resolved against the repository root
+(the parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) and ![alt](target); target may carry a "title" suffix.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, spaces to hyphens."""
+    text = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    slugs = {}
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ... suffixes.
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path):
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}:{lineno}: broken link target '{target}'")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in headings_of(dest):
+                errors.append(
+                    f"{path}:{lineno}: no heading '#{fragment}' in "
+                    f"{dest.relative_to(REPO_ROOT)}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"missing documentation file: {f}", file=sys.stderr)
+        return 1
+    errors = []
+    checked = 0
+    for f in files:
+        errors.extend(check_file(f))
+        checked += 1
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"checked {checked} markdown files: all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

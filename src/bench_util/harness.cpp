@@ -41,6 +41,14 @@ const std::vector<Competitor>& paper_competitors() {
   return v;
 }
 
+Solver competitor_solver(const Competitor& m, const StencilSpec& spec,
+                         bool full) {
+  Solver s =
+      Solver::make(spec.id).method(m.kernel).isa(m.isa).tiling(Tiling::On);
+  apply_bench_size(s, spec, full);
+  return s;
+}
+
 void apply_bench_size(Solver& s, const StencilSpec& spec, bool full) {
   if (!full) return;  // fast mode: keep the preset's small-size defaults
   s.size(spec.full_size[0], spec.dims >= 2 ? spec.full_size[1] : 0,

@@ -1,8 +1,11 @@
 #include "common/cpu.hpp"
 
 #include <omp.h>
+#include <unistd.h>
 
 #include <stdexcept>
+
+#include "common/env.hpp"
 
 namespace sf {
 
@@ -41,5 +44,19 @@ const char* isa_name(Isa isa) {
 }
 
 int hardware_threads() { return omp_get_max_threads(); }
+
+long llc_bytes() {
+  const long overridden = env_long("SF_LLC_BYTES", 0);
+  if (overridden > 0) return overridden;
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) return l3;
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return l2;
+#endif
+  return static_cast<long>(24.75 * 1024 * 1024);  // the paper machine's LLC
+}
 
 }  // namespace sf

@@ -25,4 +25,10 @@ const char* isa_name(Isa isa);
 /// Number of hardware threads (OpenMP max threads).
 int hardware_threads();
 
+/// Last-level cache size in bytes: SF_LLC_BYTES if set, else the OS-reported
+/// L3 (falling back to L2, then to the paper machine's 24.75 MB LLC when the
+/// OS reports nothing, as in containers). The Tiling::Auto cost model
+/// compares grid working sets against this.
+long llc_bytes();
+
 }  // namespace sf

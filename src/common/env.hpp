@@ -1,8 +1,25 @@
-// Environment-variable knobs for the benchmark harness.
-//
-// SF_BENCH_FULL=1   use the paper's Table-1 problem sizes (slow, minutes per
-//                   bench); default is a scaled-down sweep that finishes fast.
-// SF_BENCH_REPS=n   override the measurement repetition count.
+/// \file
+/// \brief Environment-variable knobs, in one place.
+///
+/// Every `SF_*` variable the library reads is declared here (docs/TUNING.md
+/// documents them for users):
+///
+///  * `SF_BENCH_FULL=1`   — benches use the paper's Table-1 problem sizes
+///    (slow, minutes per bench); default is a scaled-down sweep that
+///    finishes fast.
+///  * `SF_BENCH_REPS=n`   — override the bench measurement repetition count.
+///  * `SF_TUNE=1`         — force the Solver's measure-once auto-tuner on
+///    for every tiled run (equivalent to calling `Solver::tune(true)`).
+///  * `SF_TUNE_CACHE=path` — persist tuned tile geometries to `path` and
+///    reload them at startup, so production runs skip re-measurement across
+///    processes (see core/tuner.hpp).
+///  * `SF_TILE_MIN_BYTES=n` — working-set floor (bytes, default 2 MiB)
+///    below which Tiling::Auto stays untiled even on multicore: smaller
+///    problems lose more to stage barriers than they gain from parallel
+///    wedges.
+///  * `SF_LLC_BYTES=n`    — override the detected last-level-cache size the
+///    Tiling::Auto cost model compares working sets against
+///    (common/cpu.hpp llc_bytes()).
 #pragma once
 
 #include <cstdlib>
@@ -10,16 +27,37 @@
 
 namespace sf {
 
+/// True when `name` is set to anything but "" or "0".
 inline bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && std::string(v) != "0" && std::string(v) != "";
 }
 
+/// Integer value of `name`, or `fallback` when unset.
 inline long env_long(const char* name, long fallback) {
   const char* v = std::getenv(name);
   return v ? std::atol(v) : fallback;
 }
 
+/// String value of `name`, or an empty string when unset.
+inline std::string env_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+/// SF_BENCH_FULL: paper-size bench sweeps.
 inline bool bench_full() { return env_flag("SF_BENCH_FULL"); }
+
+/// SF_TUNE: auto-tune every tiled Solver run (measure-once, cached).
+inline bool tune_forced() { return env_flag("SF_TUNE"); }
+
+/// SF_TUNE_CACHE: path of the persistent tuning cache ("" = in-process
+/// only).
+inline std::string tune_cache_path() { return env_str("SF_TUNE_CACHE"); }
+
+/// SF_TILE_MIN_BYTES: Tiling::Auto working-set floor (default 2 MiB).
+inline long tile_min_bytes() {
+  return env_long("SF_TILE_MIN_BYTES", 2L << 20);
+}
 
 }  // namespace sf

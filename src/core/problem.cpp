@@ -7,7 +7,12 @@ Solver make_solver(const ProblemConfig& cfg) {
   s.method(cfg.method).isa(cfg.isa).seed(cfg.seed);
   if (cfg.nx != 0) s.size(cfg.nx, cfg.ny, cfg.nz);
   if (cfg.tsteps != 0) s.steps(cfg.tsteps);
-  if (cfg.tiled) s.tiled(cfg.tile_opts);
+  // The legacy contract is binary: tiled=false always meant the serial
+  // untiled kernel, so the shim must not inherit Tiling::Auto.
+  if (cfg.tiled)
+    s.tiled(cfg.tile_opts);
+  else
+    s.tiling(Tiling::Off);
   return s;
 }
 

@@ -1,12 +1,20 @@
-// Deprecated config-struct entry point, kept as a thin shim for one
-// release. New code should use the Solver facade (core/solver.hpp):
-//
-//   before: ProblemConfig cfg; cfg.preset = ...; run_problem(cfg);
-//   after:  Solver::make(preset).method(...).size(...).run();
-//
-// run_verified() here historically executed the kernel twice (once timed
-// via run_problem, once more for the error check); the shim now delegates
-// to Solver::run_verified(), which verifies the single timed run's output.
+/// \file
+/// \brief Deprecated config-struct entry point, kept as a thin shim for one
+/// release.
+///
+/// New code should use the Solver facade (core/solver.hpp):
+///
+/// \code
+///   // before: ProblemConfig cfg; cfg.preset = ...; run_problem(cfg);
+///   // after:  Solver::make(preset).method(...).size(...).run();
+/// \endcode
+///
+/// run_verified() here historically executed the kernel twice (once timed
+/// via run_problem, once more for the error check); the shim now delegates
+/// to Solver::run_verified(), which verifies the single timed run's output.
+/// The `tiled`/`tile_opts` pair maps onto the Solver's tiling()/tile()/
+/// time_block()/threads() builders; `tile_opts.method`/`.isa` are stamped
+/// from the problem-level choice, as they always were.
 #pragma once
 
 #include <string>
@@ -15,31 +23,35 @@
 
 namespace sf {
 
+/// \deprecated One-struct description of a run; superseded by the Solver
+/// builder chain.
 struct ProblemConfig {
-  Preset preset = Preset::Heat2D;
-  Method method = Method::Ours2;
-  Isa isa = Isa::Auto;
+  Preset preset = Preset::Heat2D;   ///< Which Table-1 stencil to run.
+  Method method = Method::Ours2;    ///< Vectorization/folding method.
+  Isa isa = Isa::Auto;              ///< ISA level (Auto = widest supported).
 
-  long nx = 0, ny = 1, nz = 1;  // 0: use the preset's default (small) size
-  int tsteps = 0;               // 0: preset default
+  long nx = 0;  ///< X extent; 0 = the preset's default (small) size.
+  long ny = 1;  ///< Y extent.
+  long nz = 1;  ///< Z extent.
+  int tsteps = 0;  ///< Time steps; 0 = preset default.
 
-  bool tiled = false;  // temporal split tiling + OpenMP
-  TiledOptions tile_opts{};
+  bool tiled = false;       ///< Temporal split tiling + OpenMP.
+  TiledOptions tile_opts{};  ///< Tile geometry (tile/time_block/threads).
 
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;  ///< Seed of the random initial condition.
 };
 
 /// Builds the equivalent Solver for a legacy config.
 Solver make_solver(const ProblemConfig& cfg);
 
-/// Deprecated: fills in defaulted sizes/steps from the preset. The Solver
+/// \deprecated Fills in defaulted sizes/steps from the preset. The Solver
 /// resolves defaults itself (Solver::resolve).
 ProblemConfig resolve(ProblemConfig cfg);
 
-/// Deprecated: use Solver::run().
+/// \deprecated Use Solver::run().
 RunResult run_problem(const ProblemConfig& cfg);
 
-/// Deprecated: use Solver::run_verified().
+/// \deprecated Use Solver::run_verified().
 RunResult run_verified(const ProblemConfig& cfg);
 
 }  // namespace sf

@@ -1,9 +1,15 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "common/env.hpp"
 #include "common/timing.hpp"
+#include "core/tuner.hpp"
 #include "fold/cost_model.hpp"
 #include "grid/grid_utils.hpp"
 #include "stencil/reference.hpp"
@@ -33,19 +39,6 @@ double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz) {
 }
 
 namespace {
-
-/// Halo negotiation uses the largest radius the kernel will read with:
-/// the stencil's own, or the 1-D source term's if that is wider.
-int effective_radius(const StencilSpec& s) {
-  switch (s.dims) {
-    case 1:
-      return std::max(s.p1.radius(), s.has_source ? s.src1.radius() : 0);
-    case 2:
-      return s.p2.radius();
-    default:
-      return s.p3.radius();
-  }
-}
 
 bool fold_profitable(const StencilSpec& s, int m) {
   switch (s.dims) {
@@ -114,6 +107,28 @@ auto& ws_rb(Workspace& w) {
   else return w.rb3;
 }
 
+/// Candidate tile extents the auto-tuner measures: the planner's negotiated
+/// tile, the per-thread split, and a small fan around them (halved,
+/// doubled, slope-proportional), filtered to extents that can actually
+/// block (at least (2*1+1)*slope for an H = 1 wedge, strictly inside the
+/// domain).
+std::vector<int> tile_candidates(long n, int slope, int threads,
+                                 int planned) {
+  const int thr = std::max(1, threads);
+  const int heur = std::max(4 * slope, static_cast<int>(n / thr));
+  const int raw[] = {planned,   planned / 2, 2 * planned,
+                     heur,      4 * slope,   8 * slope,
+                     static_cast<int>(n / (2L * thr))};
+  std::vector<int> out;
+  for (int c : raw) {
+    if (c < 3 * slope) continue;
+    if (c >= n) continue;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  if (out.empty()) out.push_back(planned > 0 ? planned : heur);
+  return out;
+}
+
 }  // namespace
 
 Method auto_method(const StencilSpec& spec, Isa isa) {
@@ -168,14 +183,32 @@ Solver& Solver::isa(Isa v) {
   return *this;
 }
 
-Solver& Solver::tiled(bool on) {
-  cfg_.tiled = on;
+Solver& Solver::tiling(Tiling mode) {
+  cfg_.tiling = mode;
+  selected_ = nullptr;
   return *this;
 }
 
-Solver& Solver::tiled(const TiledOptions& opts) {
-  cfg_.tile_opts = opts;
-  cfg_.tiled = true;
+Solver& Solver::threads(int n) {
+  cfg_.threads = n;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::tile(int extent) {
+  cfg_.tile = extent;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::time_block(int steps) {
+  cfg_.time_block = steps;
+  selected_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::tune(bool on) {
+  cfg_.tune = on;
   return *this;
 }
 
@@ -209,12 +242,112 @@ Solver& Solver::resolve() {
                                 std::to_string(cfg_.spec.dims) + "-D at " +
                                 isa_name(resolve_isa(cfg_.isa)));
   halo_ = selected_->required_halo(effective_radius(cfg_.spec));
+  plan_ = plan_execution(plan_request());
   return *this;
+}
+
+PlanRequest Solver::plan_request() const {
+  PlanRequest req;
+  req.spec = &cfg_.spec;
+  req.kernel = selected_;
+  req.nx = cfg_.nx;
+  req.ny = cfg_.ny;
+  req.nz = cfg_.nz;
+  req.tsteps = cfg_.tsteps;
+  req.tiling = cfg_.tiling;
+  req.threads = cfg_.threads;
+  req.tile = cfg_.tile;
+  req.time_block = cfg_.time_block;
+  return req;
 }
 
 const KernelInfo& Solver::kernel() { return *resolve().selected_; }
 
 int Solver::halo() { return resolve().halo_; }
+
+// ---------------------------------------------------------------------------
+// Measure-once auto-tuning
+// ---------------------------------------------------------------------------
+
+// Probes a few tile geometries on the allocated grids (contents are
+// irrelevant for timing but kept finite so FP corner cases don't distort
+// it), records the winner in the TuneCache, and restores `a`'s initial
+// state for the timed run. A Cached plan skips all of this — that is the
+// "repeated runs are free" contract — and an unblockable plan has no wedge
+// geometry worth measuring.
+template <int D, class P, class G>
+void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
+                       const Grid1D* kk) {
+  if (!(plan_.tiled && plan_.blocked && (cfg_.tune || tune_forced()) &&
+        plan_.source == PlanSource::Heuristic && cfg_.tile == 0 &&
+        cfg_.time_block == 0))
+    return;
+  const long n_tiled = D == 1 ? cfg_.nx : D == 2 ? cfg_.ny : cfg_.nz;
+  const int m = std::max(1, selected_->fold_depth);
+  const int slope = selected_->wedge_slope(p.radius());
+  // One uniform probe horizon for every candidate: fixed per-call
+  // overheads (layout transposes in/out, stage fork/join) amortize
+  // identically and cancel out of the ranking.
+  const int probe_steps = std::min(cfg_.tsteps, std::max(2 * m, 48));
+  // The tuner searches *tile extents*; block heights always follow the
+  // Fig. 7 heuristic for the chosen tile. Candidates are probed with the
+  // block height that heuristic yields at the probe horizon (a taller
+  // block than the probe can observe is never measured), and the winner's
+  // deployed height is re-negotiated at the run's real horizon below —
+  // so a tuned plan never trades away the tall blocks an untuned plan
+  // would use; unblockable candidates have no wedge schedule to measure.
+  std::vector<std::pair<int, int>> cands;  // (tile, probe time_block)
+  PlanRequest treq = plan_request();
+  treq.threads = plan_.tile.threads;  // the resolved count
+  treq.tsteps = probe_steps;
+  for (int c :
+       tile_candidates(n_tiled, slope, plan_.tile.threads, plan_.tile.tile)) {
+    treq.tile = c;
+    treq.time_block = 0;
+    const WedgeGeometry g = plan_geometry(treq);
+    if (g.blocked) cands.emplace_back(g.tile, g.time_block);
+  }
+  if (cands.empty()) return;
+  auto probe = [&](int tile_c, int tb_c, int steps) {
+    TilePlan cand = plan_.tile;
+    cand.tile = tile_c;
+    cand.time_block = tb_c;
+    if constexpr (D == 1)
+      run_tile_plan(p, a, b, src, kk, steps, cand);
+    else
+      run_tile_plan(p, a, b, steps, cand);
+  };
+  // Untimed warmup: absorbs one-time costs (OpenMP pool creation, page
+  // faults) so they don't land on the first measured candidate.
+  probe(cands.front().first, cands.front().second,
+        std::min(cfg_.tsteps, 2 * m));
+  double best_sec = std::numeric_limits<double>::infinity();
+  int best_tile = plan_.tile.tile;
+  for (const auto& [tile_c, tb_c] : cands) {
+    Timer timer;
+    probe(tile_c, tb_c, probe_steps);
+    const double sec = timer.seconds();
+    if (sec < best_sec) {
+      best_sec = sec;
+      best_tile = tile_c;
+    }
+  }
+  // Deploy (and record) the winning tile with the block height the
+  // heuristic gives it at the full horizon.
+  treq.tsteps = cfg_.tsteps;
+  treq.tile = best_tile;
+  treq.time_block = 0;
+  const WedgeGeometry deployed = plan_geometry(treq);
+  plan_.tile.tile = deployed.tile;
+  plan_.tile.time_block = deployed.time_block;
+  plan_.blocked = deployed.blocked;
+  plan_.source = PlanSource::Tuned;
+  TuneCache::instance().store(
+      make_tune_key(*selected_, effective_radius(cfg_.spec), cfg_.nx, cfg_.ny,
+                    cfg_.nz, cfg_.tsteps, plan_.tile.threads),
+      TunedGeometry{deployed.tile, deployed.time_block});
+  fill_random(a, cfg_.seed);  // probes clobbered the initial state
+}
 
 // ---------------------------------------------------------------------------
 // Execution: one generic path for every dimensionality
@@ -223,10 +356,6 @@ int Solver::halo() { return resolve().halo_; }
 RunResult Solver::run_impl(bool verify) {
   resolve();
   const StencilSpec& s = cfg_.spec;
-
-  TiledOptions topts = cfg_.tile_opts;
-  topts.method = selected_->method;
-  topts.isa = selected_->isa;
 
   return dispatch_dims(s.dims, [&](auto dc) -> RunResult {
     constexpr int D = std::decay_t<decltype(dc)>::value;
@@ -258,6 +387,8 @@ RunResult Solver::run_impl(bool verify) {
         kk = &*ws_.k1;
       }
     }
+
+    tune_pass<D>(p, *A, *B, src, kk);
     copy(*A, *B);
 
     RunResult res;
@@ -265,13 +396,13 @@ RunResult Solver::run_impl(bool verify) {
     res.points = cfg_.nx * (D >= 2 ? cfg_.ny : 1) * (D >= 3 ? cfg_.nz : 1);
     Timer timer;
     if constexpr (D == 1) {
-      if (cfg_.tiled)
-        run_tiled(p, *A, *B, src, kk, cfg_.tsteps, topts);
+      if (plan_.tiled)
+        run_tile_plan(p, *A, *B, src, kk, cfg_.tsteps, plan_.tile);
       else
         selected_->run1(p, *A, *B, src, kk, cfg_.tsteps);
     } else {
-      if (cfg_.tiled)
-        run_tiled(p, *A, *B, cfg_.tsteps, topts);
+      if (plan_.tiled)
+        run_tile_plan(p, *A, *B, cfg_.tsteps, plan_.tile);
       else if constexpr (D == 2)
         selected_->run2(p, *A, *B, cfg_.tsteps);
       else

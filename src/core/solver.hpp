@@ -1,19 +1,27 @@
-// The public entry point: a dimension-generic, builder-style facade over
-// the kernel registry.
-//
-//   RunResult r = Solver::make(Preset::Heat2D)
-//                     .size(4096, 4096)
-//                     .steps(500)
-//                     .method("ours-2step")   // or Method::Auto (default)
-//                     .isa(Isa::Auto)
-//                     .tiled(true)
-//                     .run();
-//
-// The Solver owns a Workspace (grids + scratch) whose halo is negotiated
-// from the selected kernel's capability (KernelInfo::required_halo), picks
-// the kernel through the registry — driven by the fold cost model when the
-// method is Auto — and runs one code path for 1-D/2-D/3-D where the old
-// run_problem/run_verified pair kept three hand-written switches.
+/// \file
+/// \brief The public entry point: a dimension-generic, builder-style facade
+/// over the kernel registry and the execution planner.
+///
+/// \code
+///   RunResult r = Solver::make(Preset::Heat2D)
+///                     .size(4096, 4096)
+///                     .steps(500)
+///                     .method("ours-2step")   // or Method::Auto (default)
+///                     .isa(Isa::Auto)
+///                     .tiling(Tiling::On)     // split tiling (Fig. 9 path)
+///                     .threads(8)             // 0 = OpenMP default
+///                     .run();
+/// \endcode
+///
+/// The Solver owns a Workspace (grids + scratch) whose halo is negotiated
+/// from the selected kernel's capability (KernelInfo::required_halo), picks
+/// the kernel through the registry — driven by the fold cost model when the
+/// method is Auto — and builds an ExecutionPlan that decides untiled vs.
+/// split-tiled execution and the concrete tile/time_block/threads geometry
+/// (core/execution_plan.hpp). With `tune(true)` (or `SF_TUNE=1`) the first
+/// run of a configuration measures a handful of candidate tile extents and
+/// caches the winner (core/tuner.hpp), so later runs — and later processes
+/// when `SF_TUNE_CACHE` is set — plan for free.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +29,10 @@
 #include <string>
 
 #include "common/cpu.hpp"
+#include "core/execution_plan.hpp"
 #include "grid/grid.hpp"
 #include "kernels/registry.hpp"
 #include "stencil/presets.hpp"
-#include "tiling/split_tiling.hpp"
 
 namespace sf {
 
@@ -36,21 +44,36 @@ namespace sf {
 /// the shape or halo changes. After run(), `a*` of the active
 /// dimensionality holds the final state.
 struct Workspace {
-  int dims = 0;
-  int halo = 0;
-  long nx = 0, ny = 0, nz = 0;
+  int dims = 0;           ///< Active dimensionality (0 = nothing allocated).
+  int halo = 0;           ///< Halo the grids were allocated with.
+  long nx = 0;            ///< Extents the grids were allocated for.
+  long ny = 0;            ///< Second extent.
+  long nz = 0;            ///< Third extent.
 
-  std::optional<Grid1D> a1, b1, k1, ra1, rb1;
-  std::optional<Grid2D> a2, b2, ra2, rb2;
-  std::optional<Grid3D> a3, b3, ra3, rb3;
+  std::optional<Grid1D> a1;   ///< 1-D result grid.
+  std::optional<Grid1D> b1;   ///< 1-D scratch grid.
+  std::optional<Grid1D> k1;   ///< 1-D time-invariant source array (APOP).
+  std::optional<Grid1D> ra1;  ///< 1-D reference grid (verified runs).
+  std::optional<Grid1D> rb1;  ///< 1-D reference scratch.
+  std::optional<Grid2D> a2;   ///< 2-D result grid.
+  std::optional<Grid2D> b2;   ///< 2-D scratch grid.
+  std::optional<Grid2D> ra2;  ///< 2-D reference grid.
+  std::optional<Grid2D> rb2;  ///< 2-D reference scratch.
+  std::optional<Grid3D> a3;   ///< 3-D result grid.
+  std::optional<Grid3D> b3;   ///< 3-D scratch grid.
+  std::optional<Grid3D> ra3;  ///< 3-D reference grid.
+  std::optional<Grid3D> rb3;  ///< 3-D reference scratch.
 };
 
+/// Timing/throughput/accuracy results of one Solver run.
 struct RunResult {
-  double seconds = 0;
-  double gflops = 0;      // useful flops: taps-based, identical across methods
-  double max_error = -1;  // vs naive reference, if verification requested
-  long points = 0;
-  int tsteps = 0;
+  double seconds = 0;     ///< Wall time of the timed kernel execution.
+  double gflops = 0;      ///< Useful flops: taps-based, identical across
+                          ///< methods.
+  double max_error = -1;  ///< Vs naive reference, if verification requested
+                          ///< (negative = not verified).
+  long points = 0;        ///< Grid points per time step.
+  int tsteps = 0;         ///< Time steps executed.
 };
 
 /// Useful FLOPs per time step for a stencil at the given size.
@@ -61,9 +84,12 @@ double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
 /// radius, falling back through the paper's method ordering.
 Method auto_method(const StencilSpec& spec, Isa isa);
 
+/// Builder-style facade over the registry, planner, tuner and executors.
 class Solver {
  public:
+  /// Starts a builder chain for one of the paper's Table-1 presets.
   static Solver make(Preset p) { return Solver(preset(p)); }
+  /// Starts a builder chain for an arbitrary stencil specification.
   static Solver make(const StencilSpec& spec) { return Solver(spec); }
 
   /// Copying a Solver copies its *specification* (stencil, size, method,
@@ -71,12 +97,14 @@ class Solver {
   /// workspace and allocates on its first run. This keeps builder chains
   /// assignable (`Solver s = Solver::make(p).method(...).steps(...);`).
   Solver(const Solver& o)
-      : cfg_(o.cfg_), selected_(o.selected_), halo_(o.halo_) {}
+      : cfg_(o.cfg_), selected_(o.selected_), halo_(o.halo_), plan_(o.plan_) {}
+  /// Specification-copying assignment; see the copy constructor.
   Solver& operator=(const Solver& o) {
     if (this != &o) {
       cfg_ = o.cfg_;
       selected_ = o.selected_;
       halo_ = o.halo_;
+      plan_ = o.plan_;
       ws_ = Workspace{};
     }
     return *this;
@@ -86,25 +114,72 @@ class Solver {
   /// Problem extents; trailing dimensions are ignored below spec.dims.
   /// Unset (0) extents default to the preset's fast-run size.
   Solver& size(long nx, long ny = 0, long nz = 0);
+  /// Time-step horizon (0 = the preset's fast-run default).
   Solver& steps(int tsteps);
+  /// Vectorization/folding method (Method::Auto = fold cost model).
   Solver& method(Method m);
-  Solver& method(const std::string& name);  // string key, "auto" included
+  /// Method by registry string key ("auto" included).
+  Solver& method(const std::string& name);
+  /// ISA level (Isa::Auto = widest the CPU supports).
   Solver& isa(Isa v);
-  Solver& tiled(bool on = true);
-  Solver& tiled(const TiledOptions& opts);  // implies tiled(true)
+  /// Tiling policy: Auto (cost model, the default), On (always tile when
+  /// the kernel's tiled stage engages — the paper's Fig. 9 configuration),
+  /// or Off.
+  Solver& tiling(Tiling mode);
+  /// OpenMP threads for the tiled stages (0 = OpenMP default). Part of the
+  /// tuner cache key.
+  Solver& threads(int n);
+  /// Explicit tile extent along the tiled dimension (0 = negotiate/tune).
+  Solver& tile(int extent);
+  /// Explicit time steps per block (0 = negotiate/tune).
+  Solver& time_block(int steps);
+  /// Enables the measure-once auto-tuner for this Solver's tiled runs
+  /// (equivalent to SF_TUNE=1 process-wide). The first run of a
+  /// configuration measures candidate tile extents; the result is cached in
+  /// the process-wide TuneCache (and in SF_TUNE_CACHE when set).
+  Solver& tune(bool on = true);
+  /// Seed of the deterministic random initial condition.
   Solver& seed(std::uint64_t s);
 
+  /// \deprecated Use tiling(Tiling::On) / tiling(Tiling::Off).
+  Solver& tiled(bool on = true) {
+    return tiling(on ? Tiling::On : Tiling::Off);
+  }
+  /// \deprecated Use tiling(Tiling::On) plus tile()/time_block()/threads().
+  /// The plan's method/ISA always follow the Solver-selected kernel, so
+  /// `opts.method`/`opts.isa` are ignored.
+  Solver& tiled(const TilePlan& opts) {
+    tile(opts.tile);
+    time_block(opts.time_block);
+    threads(opts.threads);
+    return tiling(Tiling::On);
+  }
+
   // ---- resolved view ----------------------------------------------------
+  /// The stencil being solved.
   const StencilSpec& spec() const { return cfg_.spec; }
-  /// Selects the kernel (resolving Method::Auto via the cost model) and
-  /// fills defaulted sizes/steps. Throws std::invalid_argument if no kernel
-  /// is registered for the request. Idempotent.
+  /// Selects the kernel (resolving Method::Auto via the cost model), fills
+  /// defaulted sizes/steps, and builds the execution plan. Throws
+  /// std::invalid_argument if no kernel is registered for the request.
+  /// Idempotent.
   Solver& resolve();
-  const KernelInfo& kernel();  // resolves first
-  int halo();                  // negotiated workspace halo; resolves first
+  /// The selected kernel's registry entry; resolves first.
+  const KernelInfo& kernel();
+  /// Negotiated workspace halo; resolves first.
+  int halo();
+  /// How the next run() will execute: untiled or split-tiled, with the
+  /// concrete tile/time_block/threads geometry and its provenance
+  /// (heuristic, tuner-cached, or tuned). Resolves first. A tuning run
+  /// upgrades the stored plan, so calling this after run() reports the
+  /// geometry that actually executed.
+  const ExecutionPlan& plan() { return resolve().plan_; }
+  /// Resolved x extent.
   long nx() { return resolve().cfg_.nx; }
+  /// Resolved y extent (1 below 2-D).
   long ny() { return resolve().cfg_.ny; }
+  /// Resolved z extent (1 below 3-D).
   long nz() { return resolve().cfg_.nz; }
+  /// Resolved time-step horizon.
   int tsteps() { return resolve().cfg_.tsteps; }
 
   // ---- execution --------------------------------------------------------
@@ -127,17 +202,32 @@ class Solver {
     Isa isa = Isa::Auto;
     long nx = 0, ny = 0, nz = 0;
     int tsteps = 0;
-    bool tiled = false;
-    TiledOptions tile_opts{};
+    Tiling tiling = Tiling::Auto;
+    int threads = 0;
+    int tile = 0;
+    int time_block = 0;
+    bool tune = false;
     std::uint64_t seed = 42;
   };
 
   explicit Solver(const StencilSpec& spec) { cfg_.spec = spec; }
   RunResult run_impl(bool verify);
+  /// The planner request for the current configuration (requires a
+  /// selected kernel). Built in one place so resolve() and the tuning pass
+  /// can never disagree on the request fields.
+  PlanRequest plan_request() const;
+  /// The measure-once auto-tuning pass: when enabled and the plan is a
+  /// blocked heuristic one, probes candidate tile geometries on (a, b),
+  /// upgrades plan_ to the winner (source = Tuned), records it in the
+  /// TuneCache, and restores `a`'s initial state. No-op otherwise.
+  template <int D, class P, class G>
+  void tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
+                 const Grid1D* kk);
 
   Config cfg_;
   const KernelInfo* selected_ = nullptr;  // set by resolve()
   int halo_ = 0;
+  ExecutionPlan plan_;
   Workspace ws_;
 };
 

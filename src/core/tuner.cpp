@@ -1,0 +1,157 @@
+#include "core/tuner.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+
+namespace sf {
+
+namespace {
+
+// One entry per line:
+//   v1 <kernel> <isa> <dims> <radius> <nx> <ny> <nz> <tsteps> <threads>
+//      <tile> <tb>
+// The kernel key never contains whitespace (registry names are method
+// names), so plain stream extraction round-trips.
+constexpr const char* kFormatTag = "v1";
+
+int isa_code(Isa isa) { return static_cast<int>(isa); }
+
+bool isa_from_code(int code, Isa& out) {
+  switch (code) {
+    case static_cast<int>(Isa::Scalar): out = Isa::Scalar; return true;
+    case static_cast<int>(Isa::Avx2): out = Isa::Avx2; return true;
+    case static_cast<int>(Isa::Avx512): out = Isa::Avx512; return true;
+    default: return false;
+  }
+}
+
+std::string to_line(const TuneKey& k, const TunedGeometry& g) {
+  std::ostringstream os;
+  os << kFormatTag << ' ' << k.kernel << ' ' << isa_code(k.isa) << ' '
+     << k.dims << ' ' << k.radius << ' ' << k.nx << ' ' << k.ny << ' '
+     << k.nz << ' ' << k.tsteps << ' ' << k.threads << ' ' << g.tile << ' '
+     << g.time_block;
+  return os.str();
+}
+
+bool parse_line(const std::string& line, TuneKey& k, TunedGeometry& g) {
+  std::istringstream is(line);
+  std::string tag;
+  int isa = -1;
+  if (!(is >> tag >> k.kernel >> isa >> k.dims >> k.radius >> k.nx >> k.ny >>
+        k.nz >> k.tsteps >> k.threads >> g.tile >> g.time_block))
+    return false;
+  return tag == kFormatTag && isa_from_code(isa, k.isa) && k.dims >= 1 &&
+         k.dims <= 3 && g.tile > 0 && g.time_block > 0;
+}
+
+}  // namespace
+
+TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
+                      long nz, int tsteps, int threads) {
+  TuneKey k;
+  k.kernel = kernel.name;
+  k.isa = kernel.isa;
+  k.dims = kernel.dims;
+  k.radius = radius;
+  k.nx = nx;
+  k.ny = ny;
+  k.nz = nz;
+  k.tsteps = tsteps;
+  k.threads = threads;
+  return k;
+}
+
+TuneCache& TuneCache::instance() {
+  static TuneCache* cache = [] {
+    auto* c = new TuneCache();
+    c->persist_path_ = tune_cache_path();
+    if (!c->persist_path_.empty()) c->load_file(c->persist_path_);
+    return c;
+  }();
+  return *cache;
+}
+
+std::optional<TunedGeometry> TuneCache::lookup_locked(
+    const TuneKey& key) const {
+  for (const auto& e : entries_)
+    if (e.first == key) return e.second;
+  return std::nullopt;
+}
+
+std::optional<TunedGeometry> TuneCache::lookup(const TuneKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup_locked(key);
+}
+
+void TuneCache::store(const TuneKey& key, const TunedGeometry& g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+  bool replaced = false;
+  for (auto& e : entries_)
+    if (e.first == key) {
+      e.second = g;
+      replaced = true;
+      break;
+    }
+  if (!replaced) entries_.emplace_back(key, g);
+  if (!persist_path_.empty()) {
+    // Append-only persistence: load_file's later-lines-win rule makes an
+    // updated entry shadow its predecessor without rewriting the file.
+    std::ofstream out(persist_path_, std::ios::app);
+    if (out) out << to_line(key, g) << '\n';
+  }
+}
+
+long TuneCache::stored_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+std::size_t TuneCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TuneCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t TuneCache::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    TuneKey k;
+    TunedGeometry g;
+    if (!parse_line(line, k, g)) continue;
+    bool replaced = false;
+    for (auto& e : entries_)
+      if (e.first == k) {
+        e.second = g;
+        replaced = true;
+        break;
+      }
+    if (!replaced) entries_.emplace_back(std::move(k), g);
+    ++loaded;
+  }
+  return loaded;
+}
+
+bool TuneCache::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# stencilfold tuning cache: " << kFormatTag
+      << " kernel isa dims radius nx ny nz tsteps threads tile time_block\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) out << to_line(e.first, e.second) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace sf

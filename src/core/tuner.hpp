@@ -1,0 +1,113 @@
+/// \file
+/// \brief Persistent measure-once auto-tuner cache for tiled execution.
+///
+/// The split-tiling heuristics (tiling/split_tiling.hpp negotiate_wedge)
+/// give a good default tile geometry, but the best tile/time_block for a
+/// *specific* {kernel, shape, tsteps, threads} configuration depends on the
+/// machine. When tuning is enabled (`Solver::tune(true)` or `SF_TUNE=1`),
+/// the Solver measures a handful of candidate tile extents once, picks the
+/// fastest, and records it here keyed on the full configuration — so every
+/// later run of that configuration (in this process, or in any process when
+/// `SF_TUNE_CACHE=path` persists the table to disk) gets the tuned plan
+/// without re-measurement.
+///
+/// The cache is deliberately tiny machinery: a flat table with linear
+/// lookup (real workloads tune a few dozen configurations at most) behind a
+/// mutex, serialized as one whitespace-separated text line per entry.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "kernels/registry.hpp"
+
+namespace sf {
+
+/// Everything the tuned geometry depends on. Two runs with equal keys are
+/// interchangeable for tuning purposes: same kernel (method + ISA level +
+/// dimensionality), same stencil radius (the wedge slope is fold_depth ×
+/// radius, so different-radius stencils need different geometry even under
+/// the same kernel), same extents, same horizon, same thread count.
+struct TuneKey {
+  std::string kernel;      ///< Registry string key, e.g. "ours-2step".
+  Isa isa = Isa::Scalar;   ///< Concrete ISA level of the selected kernel.
+  int dims = 0;            ///< 1, 2 or 3.
+  int radius = 0;          ///< Effective stencil radius (incl. 1-D source).
+  long nx = 0;             ///< Extents (unused trailing dims = 1).
+  long ny = 1;             ///< Second extent.
+  long nz = 1;             ///< Third extent.
+  int tsteps = 0;          ///< Time-step horizon.
+  int threads = 0;         ///< Resolved OpenMP thread count.
+
+  /// Field-wise equality.
+  bool operator==(const TuneKey& o) const {
+    return kernel == o.kernel && isa == o.isa && dims == o.dims &&
+           radius == o.radius && nx == o.nx && ny == o.ny && nz == o.nz &&
+           tsteps == o.tsteps && threads == o.threads;
+  }
+};
+
+/// The geometry a measurement settled on.
+struct TunedGeometry {
+  int tile = 0;        ///< Tile extent along the tiled dimension.
+  int time_block = 0;  ///< Time steps per block.
+};
+
+/// Builds the key for a kernel/radius/shape/horizon/threads configuration.
+TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
+                      long nz, int tsteps, int threads);
+
+/// Process-wide tuning table. Thread-safe. The singleton loads
+/// `SF_TUNE_CACHE` (when set) on first use, and store() appends each new
+/// result to that file so later processes start warm.
+class TuneCache {
+ public:
+  /// The singleton cache (loads SF_TUNE_CACHE on first call).
+  static TuneCache& instance();
+
+  /// The tuned geometry recorded for `key`, if any.
+  std::optional<TunedGeometry> lookup(const TuneKey& key) const;
+
+  /// Records (or overwrites) the geometry for `key`; appends to the
+  /// SF_TUNE_CACHE file when the singleton was configured with one.
+  void store(const TuneKey& key, const TunedGeometry& g);
+
+  /// Number of store() calls over this object's lifetime. Tests use this to
+  /// assert measure-once behavior: a second run of a tuned configuration
+  /// must not store (= must not have re-measured) again.
+  long stored_count() const;
+
+  /// Number of distinct keys currently cached.
+  std::size_t size() const;
+
+  /// Drops every entry (test isolation; does not touch the disk file).
+  void clear();
+
+  /// Merges entries from a cache file (later lines win). Returns the number
+  /// of lines successfully parsed; unparsable lines are skipped.
+  std::size_t load_file(const std::string& path);
+
+  /// Writes the whole table to `path` (one line per entry). Returns false
+  /// when the file cannot be opened.
+  bool save_file(const std::string& path) const;
+
+  /// Constructs an empty cache that persists nothing. The process-wide
+  /// instance() is the usual entry point; independent objects exist for
+  /// tests.
+  TuneCache() = default;
+
+ private:
+  std::optional<TunedGeometry> lookup_locked(const TuneKey& key) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<TuneKey, TunedGeometry>> entries_;
+  std::string persist_path_;  // "" = in-process only
+  long stores_ = 0;
+};
+
+}  // namespace sf

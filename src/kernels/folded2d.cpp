@@ -281,12 +281,15 @@ namespace {
 // halo scales with fold_depth = 2 and the vector path engages only while
 // 2r <= min(W, kMaxR2).
 const KernelRegistrar reg2d_folded{{
+    // The tiled stage (folded2d_advance over wedge row ranges) shares the
+    // vector window, so the tiled radius range mirrors max_radius; the
+    // wedge slope is fold-doubled (KernelInfo::wedge_slope).
     kernel2d_info(Method::Ours2, Isa::Scalar, 1, 2, &detail::run_ours2_2d<1>,
-                  /*halo_floor=*/0, /*max_radius=*/-1),
+                  /*halo_floor=*/0, /*max_radius=*/-1, /*tiled_max_radius=*/-1),
     kernel2d_info(Method::Ours2, Isa::Avx2, 4, 2, &detail::run_ours2_2d<4>, 0,
-                  2),
+                  2, 2),
     kernel2d_info(Method::Ours2, Isa::Avx512, 8, 2, &detail::run_ours2_2d<8>,
-                  0, 2),
+                  0, 2, 2),
 }};
 
 }  // namespace

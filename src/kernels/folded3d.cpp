@@ -260,12 +260,14 @@ namespace {
 // plane window caps the folded radius at min(W, kMaxR3), so the vector path
 // engages only for r = 1 (exactly the 3-D presets).
 const KernelRegistrar reg3d_folded{{
+    // Tiled stage shares the plane window: tiled radius mirrors max_radius
+    // (see folded2d.cpp).
     kernel3d_info(Method::Ours2, Isa::Scalar, 1, 2, &detail::run_ours2_3d<1>,
-                  /*halo_floor=*/0, /*max_radius=*/-1),
+                  /*halo_floor=*/0, /*max_radius=*/-1, /*tiled_max_radius=*/-1),
     kernel3d_info(Method::Ours2, Isa::Avx2, 4, 2, &detail::run_ours2_3d<4>, 0,
-                  1),
+                  1, 1),
     kernel3d_info(Method::Ours2, Isa::Avx512, 8, 2, &detail::run_ours2_3d<8>,
-                  0, 1),
+                  0, 1, 1),
 }};
 
 }  // namespace

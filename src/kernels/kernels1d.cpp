@@ -376,9 +376,14 @@ const KernelRegistrar reg1d{{
     // Naive is ISA-independent scalar code; it is registered at every
     // level so exact-ISA lookups succeed, with width 1 reflecting how it
     // actually executes.
-    kernel1d_info(Method::Naive, Isa::Scalar, 1, 1, &run_naive1d),
-    kernel1d_info(Method::Naive, Isa::Avx2, 1, 1, &run_naive1d),
-    kernel1d_info(Method::Naive, Isa::Avx512, 1, 1, &run_naive1d),
+    // Tileability (last parameter): the wedge stage runs apply_pattern for
+    // Naive (any radius); multiple-loads/data-reorg have no tiled stage;
+    // 1-D DLT cannot be wedge-tiled (the lifted seam couples column 0 to
+    // column L-1, see run_tiled); ours/ours-2step tile while the
+    // (fold-doubled) radius fits the transposed vector window W.
+    kernel1d_info(Method::Naive, Isa::Scalar, 1, 1, &run_naive1d, 0, 0, 0),
+    kernel1d_info(Method::Naive, Isa::Avx2, 1, 1, &run_naive1d, 0, 0, 0),
+    kernel1d_info(Method::Naive, Isa::Avx512, 1, 1, &run_naive1d, 0, 0, 0),
     kernel1d_info(Method::MultipleLoads, Isa::Scalar, 1, 1, &run_ml1d<1>),
     kernel1d_info(Method::MultipleLoads, Isa::Avx2, 4, 1, &run_ml1d<4>),
     kernel1d_info(Method::MultipleLoads, Isa::Avx512, 8, 1, &run_ml1d<8>),
@@ -389,12 +394,14 @@ const KernelRegistrar reg1d{{
     kernel1d_info(Method::DLT, Isa::Scalar, 1, 1, &run_dlt1d<1>),
     kernel1d_info(Method::DLT, Isa::Avx2, 4, 1, &run_dlt1d<4>),
     kernel1d_info(Method::DLT, Isa::Avx512, 8, 1, &run_dlt1d<8>),
-    kernel1d_info(Method::Ours, Isa::Scalar, 1, 1, &run_ours1_1d<1>, 0, 1),
-    kernel1d_info(Method::Ours, Isa::Avx2, 4, 1, &run_ours1_1d<4>, 0, 4),
-    kernel1d_info(Method::Ours, Isa::Avx512, 8, 1, &run_ours1_1d<8>, 0, 8),
-    kernel1d_info(Method::Ours2, Isa::Scalar, 1, 2, &run_ours2_1d<1>, 0, -1),
-    kernel1d_info(Method::Ours2, Isa::Avx2, 4, 2, &run_ours2_1d<4>, 0, 2),
-    kernel1d_info(Method::Ours2, Isa::Avx512, 8, 2, &run_ours2_1d<8>, 0, 4),
+    kernel1d_info(Method::Ours, Isa::Scalar, 1, 1, &run_ours1_1d<1>, 0, 1, 1),
+    kernel1d_info(Method::Ours, Isa::Avx2, 4, 1, &run_ours1_1d<4>, 0, 4, 4),
+    kernel1d_info(Method::Ours, Isa::Avx512, 8, 1, &run_ours1_1d<8>, 0, 8, 8),
+    kernel1d_info(Method::Ours2, Isa::Scalar, 1, 2, &run_ours2_1d<1>, 0, -1,
+                  -1),
+    kernel1d_info(Method::Ours2, Isa::Avx2, 4, 2, &run_ours2_1d<4>, 0, 2, 2),
+    kernel1d_info(Method::Ours2, Isa::Avx512, 8, 2, &run_ours2_1d<8>, 0, 4,
+                  4),
 }};
 
 }  // namespace

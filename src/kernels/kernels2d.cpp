@@ -301,9 +301,15 @@ namespace {
 const KernelRegistrar reg2d{{
     // Naive executes at width 1 regardless of the registered ISA level
     // (see kernels1d.cpp).
-    kernel2d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive2d),
-    kernel2d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive2d),
-    kernel2d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive2d),
+    // Tileability (last parameter): Naive and DLT wedge-tile at any radius
+    // (DLT's lifted-row-count precondition is shape-dependent and checked by
+    // tiled_path_engages); ours tiles while r fits the row-group window.
+    kernel2d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive2d, 0,
+                  0, 0),
+    kernel2d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive2d, 0, 0,
+                  0),
+    kernel2d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive2d, 0,
+                  0, 0),
     kernel2d_info(Method::MultipleLoads, Isa::Scalar, 1, 1,
                   &detail::run_ml2d<1>),
     kernel2d_info(Method::MultipleLoads, Isa::Avx2, 4, 1,
@@ -316,16 +322,19 @@ const KernelRegistrar reg2d{{
                   4),
     kernel2d_info(Method::DataReorg, Isa::Avx512, 8, 1, &detail::run_dr2d<8>,
                   8, 8),
-    kernel2d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt2d<1>),
-    kernel2d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt2d<4>),
-    kernel2d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt2d<8>),
+    kernel2d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt2d<1>, 0, 0,
+                  0),
+    kernel2d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt2d<4>, 0, 0,
+                  0),
+    kernel2d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt2d<8>, 0, 0,
+                  0),
     // step_rows_tl2d's row-vector scratch caps the radius at min(W, 4).
     kernel2d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_2d<1>,
-                  0, 1),
+                  0, 1, 1),
     kernel2d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_2d<4>, 0,
-                  4),
+                  4, 4),
     kernel2d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_2d<8>,
-                  0, 4),
+                  0, 4, 4),
 }};
 
 }  // namespace

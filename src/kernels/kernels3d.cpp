@@ -299,9 +299,13 @@ namespace {
 const KernelRegistrar reg3d{{
     // Naive executes at width 1 regardless of the registered ISA level
     // (see kernels1d.cpp).
-    kernel3d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive3d),
-    kernel3d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive3d),
-    kernel3d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive3d),
+    // Tileability (last parameter): see the 2-D block in kernels2d.cpp.
+    kernel3d_info(Method::Naive, Isa::Scalar, 1, 1, &detail::run_naive3d, 0,
+                  0, 0),
+    kernel3d_info(Method::Naive, Isa::Avx2, 1, 1, &detail::run_naive3d, 0, 0,
+                  0),
+    kernel3d_info(Method::Naive, Isa::Avx512, 1, 1, &detail::run_naive3d, 0,
+                  0, 0),
     kernel3d_info(Method::MultipleLoads, Isa::Scalar, 1, 1,
                   &detail::run_ml3d<1>),
     kernel3d_info(Method::MultipleLoads, Isa::Avx2, 4, 1,
@@ -314,16 +318,19 @@ const KernelRegistrar reg3d{{
                   4),
     kernel3d_info(Method::DataReorg, Isa::Avx512, 8, 1, &detail::run_dr3d<8>,
                   8, 8),
-    kernel3d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt3d<1>),
-    kernel3d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt3d<4>),
-    kernel3d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt3d<8>),
+    kernel3d_info(Method::DLT, Isa::Scalar, 1, 1, &detail::run_dlt3d<1>, 0, 0,
+                  0),
+    kernel3d_info(Method::DLT, Isa::Avx2, 4, 1, &detail::run_dlt3d<4>, 0, 0,
+                  0),
+    kernel3d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt3d<8>, 0, 0,
+                  0),
     // step_planes_tl3d's row-group scratch caps the radius at min(W, 2).
     kernel3d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_3d<1>,
-                  0, 1),
+                  0, 1, 1),
     kernel3d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_3d<4>, 0,
-                  2),
+                  2, 2),
     kernel3d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_3d<8>,
-                  0, 2),
+                  0, 2, 2),
 }};
 
 }  // namespace

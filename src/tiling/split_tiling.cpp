@@ -31,7 +31,7 @@ using detail::step_rows_tl2d;
 template <int W>
 using V = simd::vecd<W>;
 
-/// Geometry/schedule parameters of one wedge run.
+/// Geometry/schedule parameters of one wedge run (time in super-steps).
 struct WedgePlan {
   int n = 0;      // extent of the tiled dimension
   int slope = 0;  // shift per super-step (m * r)
@@ -41,19 +41,19 @@ struct WedgePlan {
   bool blocked = true;  // false: domain too small, run unblocked
 };
 
-WedgePlan make_plan(int n, int slope, int super_steps, const TiledOptions& opt,
-                    int fold_m) {
+/// Internal view of negotiate_wedge() with time measured in super-steps.
+WedgePlan make_plan(int n, int slope, int super_steps, const TilePlan& opt,
+                    int fold_m, long slice_bytes) {
+  const int m = std::max(1, fold_m);
+  const WedgeGeometry g =
+      negotiate_wedge(n, slope, m, super_steps * m, opt, slice_bytes);
   WedgePlan w;
   w.n = n;
   w.slope = slope;
-  w.threads = opt.threads > 0 ? opt.threads : omp_get_max_threads();
-  w.tile = opt.tile > 0 ? opt.tile
-                        : std::max(4 * slope, n / std::max(1, w.threads));
-  const int h_from_tile = std::max(1, (w.tile / std::max(1, slope) - 2) / 2);
-  w.H = opt.time_block > 0 ? std::max(1, opt.time_block / fold_m) : h_from_tile;
-  w.H = std::min({w.H, h_from_tile, std::max(1, super_steps)});
-  // Wedges must stay disjoint from neighbour wedge writes during a stage.
-  w.blocked = super_steps > 0 && w.tile < n && w.tile >= (2 * w.H + 1) * slope;
+  w.tile = g.tile;
+  w.H = std::max(1, g.time_block / m);
+  w.threads = g.threads;
+  w.blocked = g.blocked;
   return w;
 }
 
@@ -213,7 +213,8 @@ void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
   const int slope_local = m * r;
   const int super = tsteps / m;
   const int rem = tsteps - super * m;
-  WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m);
+  WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m,
+                          sizeof(double));
 
   auto adv = [&](const Grid1D& in, Grid1D& out, int lo, int hi) {
     switch (mth) {
@@ -283,7 +284,8 @@ void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
 
   const int super = tsteps / m;
   const int rem = tsteps - super * m;
-  WedgePlan w = make_plan(ny, m * r, super, opt, m);
+  WedgePlan w = make_plan(ny, m * r, super, opt, m,
+                          sizeof(double) * static_cast<long>(nx));
 
   auto adv = [&](const Grid2D& in, Grid2D& out, int lo, int hi) {
     switch (mth) {
@@ -354,7 +356,9 @@ void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
 
   const int super = tsteps / m;
   const int rem = tsteps - super * m;
-  WedgePlan w = make_plan(nz, m * r, super, opt, m);
+  WedgePlan w = make_plan(
+      nz, m * r, super, opt, m,
+      sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
 
   auto adv = [&](const Grid3D& in, Grid3D& out, int lo, int hi) {
     switch (mth) {
@@ -401,85 +405,119 @@ void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
   }
 }
 
-/// Methods with no tiled implementation fall back to their untiled kernel,
-/// so callers can sweep all methods uniformly.
-bool tiled_method(Method m) {
-  return m == Method::Naive || m == Method::DLT || m == Method::Ours ||
-         m == Method::Ours2;
+}  // namespace
+
+WedgeGeometry negotiate_wedge(int n_tiled, int slope, int fold_m, int tsteps,
+                              const TilePlan& requested, long slice_bytes) {
+  const int m = std::max(1, fold_m);
+  const int super_steps = tsteps / m;
+  WedgeGeometry g;
+  g.threads = requested.threads > 0 ? requested.threads : omp_get_max_threads();
+  if (requested.tile > 0) {
+    g.tile = requested.tile;
+  } else {
+    long tile = n_tiled / std::max(1, g.threads);
+    if (g.threads == 1) {
+      // Serial runs get no per-thread split — the share above is the whole
+      // domain and would never block. Cap the tile so its ping-pong pair
+      // (2 buffers plus wedge slack) stays LLC-resident, turning serial
+      // split tiling into the Fig. 8 cache-blocking optimization. With
+      // multiple threads the per-thread split is the paper's Fig. 9/10
+      // geometry and t concurrent tiles could not share the LLC anyway.
+      const long cache_cap =
+          llc_bytes() / std::max(1L, 3 * std::max<long>(slice_bytes, 1));
+      if (cache_cap < tile) tile = cache_cap;
+    }
+    g.tile = static_cast<int>(std::max<long>(4 * slope, tile));
+  }
+  const int h_from_tile = std::max(1, (g.tile / std::max(1, slope) - 2) / 2);
+  int H = requested.time_block > 0 ? std::max(1, requested.time_block / m)
+                                   : h_from_tile;
+  H = std::min({H, h_from_tile, std::max(1, super_steps)});
+  g.time_block = H * m;
+  // Wedges must stay disjoint from neighbour wedge writes during a stage.
+  g.blocked =
+      super_steps > 0 && g.tile < n_tiled && g.tile >= (2 * H + 1) * slope;
+  return g;
 }
 
-}  // namespace
+bool tiled_path_engages(const KernelInfo& k, int radius, int src_radius,
+                        long nx) {
+  // The 1-D source term widens the wedge reads: the stage must cover the
+  // wider of the two radii.
+  if (!k.tileable(std::max(radius, src_radius))) return false;
+  // DLT's lifted layout needs a full stencil of lifted rows per tile; with
+  // fewer the lifted seam folds back into every tile (shape-, not
+  // capability-dependent, so it lives here rather than in the registry).
+  if (k.method == Method::DLT &&
+      nx / std::max(k.width, 1) < 2L * radius + 1)
+    return false;
+  return true;
+}
+
+void run_tile_plan(const Pattern1D& p, Grid1D& a, Grid1D& b,
+                   const Pattern1D* src, const Grid1D* k, int tsteps,
+                   const TilePlan& plan) {
+  const KernelInfo* info = find_kernel(plan.method, 1, plan.isa);
+  const int sr = src != nullptr ? src->radius() : 0;
+  // 1-D DLT never engages (tiled_max_radius = -1): the lifted layout's seam
+  // couples column 0 to column L-1 across lanes, so column tiles are not
+  // spatially local and concurrent wedges would race on the seam. SDSL-1D
+  // therefore runs the untiled lifted kernel (see DESIGN.md).
+  if (info == nullptr || !tiled_path_engages(*info, p.radius(), sr, a.n())) {
+    kernel1d(plan.method, plan.isa)(p, a, b, src, k, tsteps);
+    return;
+  }
+  switch (isa_width(resolve_isa(plan.isa))) {
+    case 8: tiled1d_impl<8>(p, a, b, src, k, tsteps, plan); break;
+    case 4: tiled1d_impl<4>(p, a, b, src, k, tsteps, plan); break;
+    default: tiled1d_impl<1>(p, a, b, src, k, tsteps, plan); break;
+  }
+}
+
+void run_tile_plan(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+                   const TilePlan& plan) {
+  const KernelInfo* info = find_kernel(plan.method, 2, plan.isa);
+  if (info == nullptr || !tiled_path_engages(*info, p.radius(), 0, a.nx())) {
+    kernel2d(plan.method, plan.isa)(p, a, b, tsteps);
+    return;
+  }
+  switch (isa_width(resolve_isa(plan.isa))) {
+    case 8: tiled2d_impl<8>(p, a, b, tsteps, plan); break;
+    case 4: tiled2d_impl<4>(p, a, b, tsteps, plan); break;
+    default: tiled2d_impl<1>(p, a, b, tsteps, plan); break;
+  }
+}
+
+void run_tile_plan(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+                   const TilePlan& plan) {
+  const KernelInfo* info = find_kernel(plan.method, 3, plan.isa);
+  if (info == nullptr || !tiled_path_engages(*info, p.radius(), 0, a.nx())) {
+    kernel3d(plan.method, plan.isa)(p, a, b, tsteps);
+    return;
+  }
+  switch (isa_width(resolve_isa(plan.isa))) {
+    case 8: tiled3d_impl<8>(p, a, b, tsteps, plan); break;
+    case 4: tiled3d_impl<4>(p, a, b, tsteps, plan); break;
+    default: tiled3d_impl<1>(p, a, b, tsteps, plan); break;
+  }
+}
+
+// Deprecated shims: one release of grace for the pre-ExecutionPlan API.
 
 void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
                const Grid1D* k, int tsteps, const TiledOptions& opt) {
-  if (!tiled_method(opt.method)) {
-    kernel1d(opt.method, opt.isa)(p, a, b, src, k, tsteps);
-    return;
-  }
-  const int W = isa_width(resolve_isa(opt.isa));
-  const int sr = src != nullptr ? src->radius() : 0;
-  const bool bad_tl = (opt.method == Method::Ours || opt.method == Method::Ours2) &&
-                      std::max(p.radius(), sr) * (opt.method == Method::Ours2 ? 2 : 1) > W;
-  // 1-D DLT cannot be wedge-tiled: the lifted layout's seam couples column 0
-  // to column L-1 across lanes, so column tiles are not spatially local and
-  // concurrent wedges would race on the seam. SDSL-1D therefore runs the
-  // untiled lifted kernel (see DESIGN.md).
-  if (bad_tl || opt.method == Method::DLT) {
-    kernel1d(opt.method, opt.isa)(p, a, b, src, k, tsteps);
-    return;
-  }
-  switch (isa_width(resolve_isa(opt.isa))) {
-    case 8: tiled1d_impl<8>(p, a, b, src, k, tsteps, opt); break;
-    case 4: tiled1d_impl<4>(p, a, b, src, k, tsteps, opt); break;
-    default: tiled1d_impl<1>(p, a, b, src, k, tsteps, opt); break;
-  }
+  run_tile_plan(p, a, b, src, k, tsteps, opt);
 }
 
 void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
                const TiledOptions& opt) {
-  if (!tiled_method(opt.method)) {
-    kernel2d(opt.method, opt.isa)(p, a, b, tsteps);
-    return;
-  }
-  // Guard rails: layout/folding preconditions fall back to the untiled path.
-  const int W = isa_width(resolve_isa(opt.isa));
-  const bool bad_tl = opt.method == Method::Ours && (p.radius() > std::min(W, 4));
-  const bool bad_dlt =
-      opt.method == Method::DLT && (a.nx() / std::max(W, 1) < 2 * p.radius() + 1);
-  const bool bad_fold =
-      opt.method == Method::Ours2 && power(p, 2).radius() > std::min(W, 4);
-  if (bad_tl || bad_dlt || bad_fold) {
-    kernel2d(opt.method, opt.isa)(p, a, b, tsteps);
-    return;
-  }
-  switch (W) {
-    case 8: tiled2d_impl<8>(p, a, b, tsteps, opt); break;
-    case 4: tiled2d_impl<4>(p, a, b, tsteps, opt); break;
-    default: tiled2d_impl<1>(p, a, b, tsteps, opt); break;
-  }
+  run_tile_plan(p, a, b, tsteps, opt);
 }
 
 void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
                const TiledOptions& opt) {
-  if (!tiled_method(opt.method)) {
-    kernel3d(opt.method, opt.isa)(p, a, b, tsteps);
-    return;
-  }
-  const int W = isa_width(resolve_isa(opt.isa));
-  const bool bad_tl = opt.method == Method::Ours && (p.radius() > std::min(W, 2));
-  const bool bad_dlt =
-      opt.method == Method::DLT && (a.nx() / std::max(W, 1) < 2 * p.radius() + 1);
-  const bool bad_fold =
-      opt.method == Method::Ours2 && power(p, 2).radius() > std::min(W, 2);
-  if (bad_tl || bad_dlt || bad_fold) {
-    kernel3d(opt.method, opt.isa)(p, a, b, tsteps);
-    return;
-  }
-  switch (W) {
-    case 8: tiled3d_impl<8>(p, a, b, tsteps, opt); break;
-    case 4: tiled3d_impl<4>(p, a, b, tsteps, opt); break;
-    default: tiled3d_impl<1>(p, a, b, tsteps, opt); break;
-  }
+  run_tile_plan(p, a, b, tsteps, opt);
 }
 
 }  // namespace sf

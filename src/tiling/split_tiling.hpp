@@ -1,40 +1,130 @@
-// Temporal split tiling with parallel stage execution (paper §3.4).
-//
-// The iteration space is tessellated along one spatial dimension (x in 1-D,
-// y in 2-D, z in 3-D) into *triangles* (shrinking tiles) and *inverted
-// triangles* (expanding wedges rooted at tile boundaries), exactly the 1-D
-// scheme of the paper's Figure 7. Each stage is embarrassingly parallel
-// (OpenMP); tiles never recompute a point (redundancy-free). Jacobi double
-// buffering makes the wedge reads exact: position x always holds its two
-// most recent time levels, one per parity.
-//
-// Combined with temporal computation folding (Method::Ours2) the wedge
-// slope doubles and odd time levels are never materialized — the paper's
-// "odd time steps are skipped over" (Fig. 7).
+/// \file
+/// \brief Temporal split tiling with parallel stage execution (paper §3.4).
+///
+/// The iteration space is tessellated along one spatial dimension (x in 1-D,
+/// y in 2-D, z in 3-D) into *triangles* (shrinking tiles) and *inverted
+/// triangles* (expanding wedges rooted at tile boundaries), exactly the 1-D
+/// scheme of the paper's Figure 7. Each stage is embarrassingly parallel
+/// (OpenMP); tiles never recompute a point (redundancy-free). Jacobi double
+/// buffering makes the wedge reads exact: position x always holds its two
+/// most recent time levels, one per parity.
+///
+/// Combined with temporal computation folding (Method::Ours2) the wedge
+/// slope doubles and odd time levels are never materialized — the paper's
+/// "odd time steps are skipped over" (Fig. 7).
+///
+/// This header is the tiling *engine*: it executes a TilePlan whose gaps
+/// (tile = 0, time_block = 0, threads = 0) it fills with the
+/// negotiate_wedge() heuristics. Deciding *whether* to tile — and feeding
+/// tuned geometry back in — is the job of the ExecutionPlan layer
+/// (core/execution_plan.hpp), which `Solver::run` drives. The historical
+/// `run_tiled`/`TiledOptions` entry points remain as deprecated shims over
+/// the same engine.
 #pragma once
+
+#include <vector>
 
 #include "common/cpu.hpp"
 #include "grid/grid.hpp"
 #include "kernels/api.hpp"
+#include "kernels/registry.hpp"
 #include "stencil/pattern.hpp"
 
 namespace sf {
 
-struct TiledOptions {
-  Method method = Method::Ours2;  // Naive | DLT | Ours | Ours2 are tiled;
-                                  // other methods run their untiled kernel
-  Isa isa = Isa::Auto;
-  int tile = 0;        // tile extent along the tiled dimension (0 = auto)
-  int time_block = 0;  // time steps per block (0 = auto)
-  int threads = 0;     // 0 = OpenMP default
+/// One split-tiling execution request. Zero-valued geometry fields mean
+/// "negotiate": the engine fills them via negotiate_wedge(); the
+/// ExecutionPlan layer fills them from its cost model or the tuner cache
+/// before the run, so `Solver::plan()` can report the concrete geometry.
+struct TilePlan {
+  Method method = Method::Ours2;  ///< Naive | DLT | Ours | Ours2 have tiled
+                                  ///< stages; other methods (and shapes the
+                                  ///< stage cannot handle, see
+                                  ///< tiled_path_engages) run their untiled
+                                  ///< kernel.
+  Isa isa = Isa::Auto;            ///< ISA level; Auto = widest supported.
+  int tile = 0;        ///< Tile extent along the tiled dimension (0 = auto).
+  int time_block = 0;  ///< Time steps per block (0 = auto).
+  int threads = 0;     ///< OpenMP threads per stage (0 = OpenMP default).
 };
 
+/// \deprecated Old name of TilePlan, kept for one release. New code should
+/// spell TilePlan (and reach tiling through `Solver::tiling()` rather than
+/// run_tiled()).
+using TiledOptions = TilePlan;
+
+/// The concrete wedge geometry negotiate_wedge() settles on for one run.
+struct WedgeGeometry {
+  int tile = 0;        ///< Tile extent along the tiled dimension.
+  int time_block = 0;  ///< Time steps per block (a multiple of fold depth).
+  int threads = 1;     ///< OpenMP threads each stage runs with.
+  bool blocked = false;  ///< False: the domain is too small for disjoint
+                         ///< wedges at this geometry; the engine runs plain
+                         ///< full sweeps instead.
+};
+
+/// Fills the unset (zero) fields of `requested` with the library's
+/// heuristics and returns the resulting geometry:
+///  * threads — OpenMP's max thread count;
+///  * tile — max(4 * slope, n_tiled / threads): one tile per thread, wide
+///    enough that a tile outlives its wedge erosion (paper §3.4's "tile
+///    size several times the slope"). Serial runs (threads == 1) instead
+///    cap the tile so its ping-pong working set stays LLC-resident — the
+///    cap is what makes serial split tiling a cache-blocking win (paper
+///    Fig. 8) instead of degenerating to one whole-domain tile;
+///  * time_block — the tallest block whose triangles stay non-degenerate,
+///    (tile / slope - 2) / 2 super-steps (Fig. 7 geometry), clamped to the
+///    run length.
+/// `blocked` reports whether wedges stay disjoint at the chosen geometry
+/// (tile < n_tiled and tile >= (2H + 1) * slope); when false the engine
+/// falls back to unblocked full sweeps.
+/// \param n_tiled extent of the tiled dimension (x/y/z in 1/2/3-D).
+/// \param slope   wedge slope per super-step (KernelInfo::wedge_slope).
+/// \param fold_m  temporal fold depth m (KernelInfo::fold_depth).
+/// \param tsteps  total plain time steps of the run.
+/// \param requested explicit tile/time_block/threads overrides (0 = auto).
+/// \param slice_bytes bytes of one cross-section slice of the tiled
+///   dimension (8 in 1-D, 8 * nx in 2-D, 8 * nx * ny in 3-D), used for the
+///   cache-capacity tile cap.
+WedgeGeometry negotiate_wedge(int n_tiled, int slope, int fold_m, int tsteps,
+                              const TilePlan& requested,
+                              long slice_bytes = sizeof(double));
+
+/// True when the split-tiled stage implementation of `k` engages for a
+/// pattern of radius `radius` (plus 1-D source-term radius `src_radius`)
+/// on a domain whose contiguous row extent is `nx`: the kernel declares a
+/// tiled stage whose (fold-doubled) radius range covers the pattern
+/// (KernelInfo::tileable), and DLT's lifted layout keeps at least a full
+/// stencil of lifted rows (nx / width >= 2 * radius + 1). When false, a
+/// tiling request runs the untiled kernel — the same executor, just
+/// without wedge scheduling.
+bool tiled_path_engages(const KernelInfo& k, int radius, int src_radius,
+                        long nx);
+
 /// Runs `tsteps` Jacobi steps with temporal split tiling; result in `a`.
-/// 1-D optionally takes the APOP source term.
+/// Geometry gaps in `plan` are negotiated (see negotiate_wedge); methods or
+/// shapes without an engaging tiled stage (see tiled_path_engages) fall
+/// back to the untiled kernel. The 1-D form optionally takes the APOP
+/// source pattern `src` over the time-invariant array `k`.
+void run_tile_plan(const Pattern1D& p, Grid1D& a, Grid1D& b,
+                   const Pattern1D* src, const Grid1D* k, int tsteps,
+                   const TilePlan& plan);
+/// 2-D overload of run_tile_plan(); tiles along y.
+void run_tile_plan(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+                   const TilePlan& plan);
+/// 3-D overload of run_tile_plan(); tiles along z.
+void run_tile_plan(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+                   const TilePlan& plan);
+
+/// \deprecated Shim over run_tile_plan(), kept for one release. New code
+/// runs tiled through `Solver::tiling()` (Solver-owned grids) or
+/// run_tile_plan() (caller-owned grids).
 void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
                const Grid1D* k, int tsteps, const TiledOptions& opt);
+/// \deprecated 2-D shim over run_tile_plan(), kept for one release.
 void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
                const TiledOptions& opt);
+/// \deprecated 3-D shim over run_tile_plan(), kept for one release.
 void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
                const TiledOptions& opt);
 
@@ -43,9 +133,14 @@ void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
 /// to assert the paper's (0,1,2,3,4,3,2,1,0) / all-H states and by the
 /// tessellate1d demo.
 struct TessellationTrace {
-  std::vector<int> after_up;    // level of each of n elements after stage 1
-  std::vector<int> after_down;  // after stage 2 (must be uniform H)
+  std::vector<int> after_up;    ///< Level of each element after stage 1.
+  std::vector<int> after_down;  ///< After stage 2 (must be uniform H).
 };
-TessellationTrace trace_tessellation_1d(int n, int tile, int height, int slope);
+
+/// Simulates the Fig. 7 two-stage tessellation bookkeeping (no floating
+/// point): `n` elements, tiles of extent `tile`, `height` super-steps per
+/// block, wedge slope `slope` per super-step.
+TessellationTrace trace_tessellation_1d(int n, int tile, int height,
+                                        int slope);
 
 }  // namespace sf

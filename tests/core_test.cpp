@@ -38,11 +38,7 @@ TEST_P(CoreApi, RunVerifiedIsExact) {
     case 2: s.size(80, 72); break;
     case 3: s.size(40, 24, 20); break;
   }
-  if (c.tiled) {
-    TiledOptions opts;
-    opts.threads = 3;
-    s.tiled(opts);
-  }
+  if (c.tiled) s.tiling(Tiling::On).threads(3);
 
   RunResult r = s.run_verified();
   EXPECT_GE(r.max_error, 0.0);
@@ -120,6 +116,19 @@ TEST(LegacyShims, ResolveDefaultsPerDimensionality) {
     EXPECT_EQ(r.nz, spec.dims >= 3 ? spec.small_size[2] : 1) << spec.name;
     EXPECT_EQ(r.tsteps, spec.small_tsteps) << spec.name;
   }
+}
+
+TEST(LegacyShims, UntiledConfigStaysUntiled) {
+  // tiled=false predates Tiling::Auto and must keep meaning "serial untiled
+  // kernel", even at production sizes the Auto cost model would tile.
+  // (Plan only — never allocated or run.)
+  ProblemConfig cfg;
+  cfg.preset = Preset::Heat2D;
+  cfg.nx = cfg.ny = 4096;
+  cfg.tsteps = 64;
+  cfg.tiled = false;
+  Solver s = make_solver(cfg);
+  EXPECT_FALSE(s.plan().tiled);
 }
 
 TEST(LegacyShims, RunProblemAndRunVerifiedStillWork) {

@@ -59,7 +59,7 @@ class Tiled : public ::testing::TestWithParam<Case> {};
 TEST_P(Tiled, MatchesReference) {
   const Case c = GetParam();
   const auto& spec = preset(c.preset);
-  TiledOptions opt;
+  TilePlan opt;
   opt.method = c.method;
   opt.isa = Isa::Auto;
   opt.tile = c.tile;
@@ -79,7 +79,7 @@ TEST_P(Tiled, MatchesReference) {
     const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
     const Grid1D* kk = spec.has_source ? &k : nullptr;
     run_reference(spec.p1, ra, rb, c.tsteps, src, kk);
-    run_tiled(spec.p1, a, b, src, kk, c.tsteps, opt);
+    run_tile_plan(spec.p1, a, b, src, kk, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
   } else if (c.dims == 2) {
     const int halo = require_kernel(c.method, 2).required_halo(spec.p2.radius());
@@ -90,7 +90,7 @@ TEST_P(Tiled, MatchesReference) {
     copy(a, ra);
     copy(a, rb);
     run_reference(spec.p2, ra, rb, c.tsteps);
-    run_tiled(spec.p2, a, b, c.tsteps, opt);
+    run_tile_plan(spec.p2, a, b, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
   } else {
     const int halo = require_kernel(c.method, 3).required_halo(spec.p3.radius());
@@ -101,7 +101,7 @@ TEST_P(Tiled, MatchesReference) {
     copy(a, ra);
     copy(a, rb);
     run_reference(spec.p3, ra, rb, c.tsteps);
-    run_tiled(spec.p3, a, b, c.tsteps, opt);
+    run_tile_plan(spec.p3, a, b, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
   }
 }
@@ -147,19 +147,19 @@ TEST(Tiled, ThreadCountInvariance) {
   Grid2D ref(ny, nx, halo), refb(ny, nx, halo);
   fill_random(ref, 1);
   copy(ref, refb);
-  TiledOptions opt;
+  TilePlan opt;
   opt.method = Method::Ours2;
   opt.tile = 24;
   opt.threads = 1;
-  run_tiled(spec.p2, ref, refb, tsteps, opt);
+  run_tile_plan(spec.p2, ref, refb, tsteps, opt);
 
   for (int threads : {2, 8}) {
     Grid2D a(ny, nx, halo), b(ny, nx, halo);
     fill_random(a, 1);
     copy(a, b);
-    TiledOptions o2 = opt;
+    TilePlan o2 = opt;
     o2.threads = threads;
-    run_tiled(spec.p2, a, b, tsteps, o2);
+    run_tile_plan(spec.p2, a, b, tsteps, o2);
     EXPECT_EQ(max_abs_diff(a, ref), 0.0) << threads << " threads";
   }
 }
@@ -175,13 +175,61 @@ TEST(Tiled, LongHorizon) {
   copy(a, ra);
   copy(a, rb);
   run_reference(spec.p1, ra, rb, tsteps);
-  TiledOptions opt;
+  TilePlan opt;
   opt.method = Method::Ours2;
   opt.tile = 256;
   opt.time_block = 16;
   opt.threads = 4;
-  run_tiled(spec.p1, a, b, nullptr, nullptr, tsteps, opt);
+  run_tile_plan(spec.p1, a, b, nullptr, nullptr, tsteps, opt);
   EXPECT_LE(max_abs_diff(a, ra), 1e-10);
+}
+
+TEST(Tiled, NegotiateWedgeRespectsOverridesAndBlocks) {
+  // All-auto: one tile per thread, block height from the Fig. 7 triangle
+  // geometry, wedges disjoint.
+  TilePlan req;
+  req.threads = 4;
+  WedgeGeometry g = negotiate_wedge(1024, 2, 2, 64, req);
+  EXPECT_EQ(g.threads, 4);
+  EXPECT_EQ(g.tile, 256);
+  EXPECT_TRUE(g.blocked);
+  EXPECT_GT(g.time_block, 0);
+  EXPECT_EQ(g.time_block % 2, 0);  // whole folded super-steps
+  EXPECT_GE(g.tile, (2 * (g.time_block / 2) + 1) * 2);
+
+  // Explicit geometry passes through (clamped only by the triangle
+  // constraint).
+  req.tile = 64;
+  req.time_block = 8;
+  g = negotiate_wedge(1024, 2, 2, 64, req);
+  EXPECT_EQ(g.tile, 64);
+  EXPECT_EQ(g.time_block, 8);
+
+  // A domain that fits one per-thread tile cannot block.
+  TilePlan one;
+  one.threads = 1;
+  g = negotiate_wedge(16, 2, 2, 64, one);
+  EXPECT_FALSE(g.blocked);
+}
+
+TEST(Tiled, DeprecatedRunTiledShimStillWorks) {
+  // run_tiled must stay a pure delegate of run_tile_plan for one release.
+  const auto& spec = preset(Preset::Heat2D);
+  const int ny = 64, nx = 48, tsteps = 10;
+  const int halo =
+      require_kernel(Method::Ours2, 2).required_halo(spec.p2.radius());
+  Grid2D a(ny, nx, halo), b(ny, nx, halo), ra(ny, nx, halo), rb(ny, nx, halo);
+  fill_random(a, 5);
+  copy(a, b);
+  copy(a, ra);
+  copy(a, rb);
+  TiledOptions opt;  // deprecated alias of TilePlan
+  opt.method = Method::Ours2;
+  opt.tile = 16;
+  opt.threads = 2;
+  run_tiled(spec.p2, a, b, tsteps, opt);
+  run_tile_plan(spec.p2, ra, rb, tsteps, opt);
+  EXPECT_EQ(max_abs_diff(a, ra), 0.0);
 }
 
 }  // namespace
