@@ -4,7 +4,14 @@
 // three stages. We compare against the shuffle-first variant, a gather-based
 // transpose, and a scalar in-memory transpose, plus the cost of assembling
 // one edge vector (blend + rotate, §2.2).
+//
+// Built against Google Benchmark when available; otherwise the built-in
+// minibench fallback keeps this ablation runnable everywhere.
+#ifdef SF_HAVE_GOOGLE_BENCHMARK
 #include <benchmark/benchmark.h>
+#else
+#include "bench_util/minibench.hpp"
+#endif
 
 #include <numeric>
 

@@ -1,7 +1,11 @@
 #include "bench_util/harness.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -71,11 +75,50 @@ std::vector<long> size_sweep_1d(bool full) {
   return {1000, 8000, 30000, 250000, 1000000, 4000000};
 }
 
+namespace {
+
+// One stamp per process: every table of a sweep lands in the same run
+// family, and repeated sweeps never overwrite each other (SF_BENCH_OUT +
+// the suffix replace the old fixed-name convention). The PID disambiguates
+// processes launched within the same second.
+const std::string& run_stamp() {
+  static const std::string stamp = [] {
+    char buf[48];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    const std::size_t n = std::strftime(buf, sizeof(buf), "%Y%m%d-%H%M%S", &tm);
+    std::snprintf(buf + n, sizeof(buf) - n, "-p%ld",
+                  static_cast<long>(getpid()));
+    return std::string(buf);
+  }();
+  return stamp;
+}
+
+}  // namespace
+
 void emit(const Table& t, const std::string& name) {
   std::cout << t.str() << std::flush;
-  std::ofstream csv(name + ".csv");
+  std::string dir = bench_out_dir();
+  if (dir.empty()) {
+    dir = ".";
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::cerr << "(SF_BENCH_OUT: cannot create '" << dir << "': "
+                << ec.message() << "; writing to .)\n";
+      dir = ".";
+    }
+  }
+  const std::string path = dir + "/" + name + "-" + run_stamp() + ".csv";
+  std::ofstream csv(path);
   csv << t.csv();
-  std::cout << "(csv written to ./" << name << ".csv)\n\n";
+  csv.flush();
+  if (csv)
+    std::cout << "(csv written to " << path << ")\n\n";
+  else
+    std::cerr << "(failed to write " << path << ")\n\n";
 }
 
 }  // namespace sf::bench

@@ -49,8 +49,11 @@ const char* storage_level(double working_set_bytes);
 /// 1-D problem sizes sweeping L1 -> memory (grows by ~4x per point).
 std::vector<long> size_sweep_1d(bool full);
 
-/// Prints a table and also writes it as CSV next to the binary
-/// (<name>.csv) for plotting.
+/// Prints a table and also writes it as CSV for plotting:
+/// $SF_BENCH_OUT/<name>-<run-stamp>.csv (stamp = time + PID; default
+/// directory: the working directory; the stamp is fixed per process so one
+/// sweep's tables form one family and repeated sweeps never overwrite
+/// each other).
 void emit(const Table& t, const std::string& name);
 
 }  // namespace sf::bench

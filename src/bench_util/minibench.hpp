@@ -1,0 +1,134 @@
+// Tiny built-in fallback for the Google Benchmark subset the ablation
+// micro-benchmarks use, so they build and run in environments without the
+// library (the CMake build defines SF_HAVE_GOOGLE_BENCHMARK and links the
+// real thing when it is found; this header is only included otherwise).
+//
+// Implements just enough of the API surface: benchmark::State as a
+// range-for iteration driver with SkipWithError, DoNotOptimize, the
+// BENCHMARK registration macro, and BENCHMARK_MAIN. Timing is adaptive
+// (batches double until the measurement exceeds a floor) and reported as
+// ns/op — coarser than the real library's statistics, but enough to rank
+// the §2.3 transpose schemes on any machine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  explicit State(std::int64_t iterations) : limit_(iterations) {}
+
+  /// Range-for support: `for (auto _ : state)` runs the timed loop body
+  /// `iterations` times (or zero times after SkipWithError).
+  struct iterator {
+    State* s;
+    bool operator!=(const iterator&) const { return s->keep_running(); }
+    void operator++() {}
+    int operator*() const { return 0; }
+  };
+  iterator begin() { return iterator{this}; }
+  iterator end() { return iterator{this}; }
+
+  /// Marks the benchmark skipped (e.g. missing ISA); the loop exits and
+  /// the harness reports the message instead of a time.
+  void SkipWithError(const char* msg) {
+    skipped_ = true;
+    error_ = msg;
+  }
+
+  bool skipped() const { return skipped_; }
+  const std::string& error() const { return error_; }
+  /// Loop-body executions so far (count_ overshoots by one on the final
+  /// failing keep_running() test).
+  std::int64_t iterations() const { return count_ < limit_ ? count_ : limit_; }
+
+ private:
+  bool keep_running() {
+    if (skipped_) return false;
+    return count_++ < limit_;
+  }
+
+  std::int64_t count_ = 0;
+  std::int64_t limit_ = 0;
+  bool skipped_ = false;
+  std::string error_;
+};
+
+/// Compiler sink: forces `value` to be materialized.
+template <class T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+namespace detail {
+
+struct Case {
+  const char* name;
+  void (*fn)(State&);
+};
+
+inline std::vector<Case>& cases() {
+  static std::vector<Case> v;
+  return v;
+}
+
+inline int register_case(const char* name, void (*fn)(State&)) {
+  cases().push_back({name, fn});
+  return 0;
+}
+
+inline int run_all() {
+  using clock = std::chrono::steady_clock;
+  std::printf("%-36s %15s %12s\n", "Benchmark", "Time", "Iterations");
+  std::printf("%s\n", std::string(65, '-').c_str());
+  for (const Case& c : cases()) {
+    // Warmup + adaptive batching: double the batch until it runs long
+    // enough (>= 10 ms) for the per-op time to be meaningful.
+    std::int64_t iters = 64;
+    double sec = 0;
+    bool skipped = false;
+    std::string err;
+    for (;;) {
+      State st(iters);
+      const auto t0 = clock::now();
+      c.fn(st);
+      const auto t1 = clock::now();
+      if (st.skipped()) {
+        skipped = true;
+        err = st.error();
+        break;
+      }
+      sec = std::chrono::duration<double>(t1 - t0).count();
+      if (sec >= 0.01 || iters >= (1LL << 30)) break;
+      iters *= 2;
+    }
+    if (skipped)
+      std::printf("%-36s %15s %12s  (%s)\n", c.name, "SKIPPED", "-",
+                  err.c_str());
+    else
+      std::printf("%-36s %12.2f ns %12lld\n", c.name,
+                  sec / static_cast<double>(iters) * 1e9,
+                  static_cast<long long>(iters));
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                     \
+  static const int sf_minibench_reg_##fn =                \
+      ::benchmark::detail::register_case(#fn, fn)
+
+#define BENCHMARK_MAIN()                                              \
+  int main() {                                                        \
+    std::printf("(built-in minibench fallback; install Google "       \
+                "Benchmark for full statistics)\n");                  \
+    return ::benchmark::detail::run_all();                            \
+  }

@@ -8,6 +8,10 @@
 ///    (slow, minutes per bench); default is a scaled-down sweep that
 ///    finishes fast.
 ///  * `SF_BENCH_REPS=n`   — override the bench measurement repetition count.
+///  * `SF_BENCH_OUT=dir`  — directory the bench harnesses write their CSVs
+///    into (created if missing; default: the working directory). Files are
+///    suffixed with a per-run timestamp so repeated sweeps never overwrite
+///    each other.
 ///  * `SF_TUNE=1`         — force the Solver's measure-once auto-tuner on
 ///    for every tiled run (equivalent to calling `Solver::tune(true)`).
 ///  * `SF_TUNE_CACHE=path` — persist tuned tile geometries to `path` and
@@ -47,6 +51,9 @@ inline std::string env_str(const char* name) {
 
 /// SF_BENCH_FULL: paper-size bench sweeps.
 inline bool bench_full() { return env_flag("SF_BENCH_FULL"); }
+
+/// SF_BENCH_OUT: output directory for bench CSVs ("" = working directory).
+inline std::string bench_out_dir() { return env_str("SF_BENCH_OUT"); }
 
 /// SF_TUNE: auto-tune every tiled Solver run (measure-once, cached).
 inline bool tune_forced() { return env_flag("SF_TUNE"); }

@@ -1,0 +1,572 @@
+#include "core/engine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/tuner.hpp"
+#include "fold/cost_model.hpp"
+#include "grid/grid_utils.hpp"
+#include "tiling/split_tiling.hpp"
+
+namespace sf {
+
+// ---------------------------------------------------------------------------
+// Auto method selection + flop accounting (shared by Engine and Solver).
+// ---------------------------------------------------------------------------
+
+double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz) {
+  double pts = static_cast<double>(nx);
+  long f = 0;
+  switch (spec.dims) {
+    case 1:
+      f = spec.p1.flops_per_point();
+      if (spec.has_source) f += 2 * static_cast<long>(spec.src1.size());
+      break;
+    case 2:
+      pts *= static_cast<double>(ny);
+      f = spec.p2.flops_per_point();
+      break;
+    case 3:
+      pts *= static_cast<double>(ny) * static_cast<double>(nz);
+      f = spec.p3.flops_per_point();
+      break;
+    default:
+      throw std::logic_error("bad dims");
+  }
+  return pts * static_cast<double>(f);
+}
+
+namespace {
+
+bool fold_profitable(const StencilSpec& s, int m) {
+  switch (s.dims) {
+    case 1: return profitability(s.p1, m).index_vec() > 1.0;
+    case 2: return profitability(s.p2, m).index_vec() > 1.0;
+    default: return profitability(s.p3, m).index_vec() > 1.0;
+  }
+}
+
+}  // namespace
+
+Method auto_method(const StencilSpec& spec, Isa isa) {
+  const int r = effective_radius(spec);
+  // Deepest fold first: fold when the cost model says the folded collect
+  // beats the naive expansion *and* the folded vector path engages at this
+  // radius. Then the paper's single-step ordering (Table 2):
+  // ours > dlt > data-reorg > multiple-loads > naive.
+  const KernelInfo* folded = find_kernel(Method::Ours2, spec.dims, isa);
+  if (folded != nullptr && folded->supports(r) &&
+      fold_profitable(spec, folded->fold_depth))
+    return Method::Ours2;
+  for (Method m : {Method::Ours, Method::DLT, Method::DataReorg,
+                   Method::MultipleLoads}) {
+    const KernelInfo* k = find_kernel(m, spec.dims, isa);
+    if (k != nullptr && k->supports(r)) return m;
+  }
+  return Method::Naive;
+}
+
+// ---------------------------------------------------------------------------
+// Prepared state
+// ---------------------------------------------------------------------------
+
+struct PreparedStencil::State {
+  StencilSpec spec;
+  const KernelInfo* kernel = nullptr;
+  int halo = 0;
+  ExecutionPlan plan;
+  long nx = 0, ny = 1, nz = 1;
+  int tsteps = 0;
+};
+
+const StencilSpec& PreparedStencil::spec() const { return st_->spec; }
+const KernelInfo& PreparedStencil::kernel() const { return *st_->kernel; }
+int PreparedStencil::halo() const { return st_->halo; }
+const ExecutionPlan& PreparedStencil::plan() const { return st_->plan; }
+long PreparedStencil::nx() const { return st_->nx; }
+long PreparedStencil::ny() const { return st_->ny; }
+long PreparedStencil::nz() const { return st_->nz; }
+int PreparedStencil::tsteps() const { return st_->tsteps; }
+
+// ---------------------------------------------------------------------------
+// View validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool aligned64(const double* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 63u) == 0;
+}
+
+[[noreturn]] void bad_view(const char* which, const std::string& why) {
+  throw std::invalid_argument(std::string("PreparedStencil::run: view '") +
+                              which + "' " + why);
+}
+
+void check_common(const char* which, bool valid, Layout layout, int halo,
+                  int need_halo, const double* data) {
+  if (!valid) bad_view(which, "is empty (default-constructed)");
+  if (layout != Layout::Natural)
+    bad_view(which, std::string("is tagged ") + layout_name(layout) +
+                        "; executors expect natural layout and apply "
+                        "transforms internally");
+  if (halo < need_halo) {
+    std::ostringstream os;
+    os << "has halo " << halo << " but the prepared kernel requires >= "
+       << need_halo;
+    bad_view(which, os.str());
+  }
+  if (!aligned64(data))
+    bad_view(which, "interior is not 64-byte aligned (allocate via Grid or "
+                    "an aligned allocator)");
+}
+
+// Addressable span of a view, as [lo, hi) byte-order addresses. Pointer
+// order across distinct allocations is compared via uintptr_t, which every
+// supported platform orders consistently.
+struct Span {
+  std::uintptr_t lo, hi;
+};
+
+Span span_of(const FieldView1D& v) {
+  const double* lo = v.data() - v.halo();
+  return {reinterpret_cast<std::uintptr_t>(lo),
+          reinterpret_cast<std::uintptr_t>(v.data() + v.n() + v.halo())};
+}
+
+Span span_of(const FieldView2D& v) {
+  const double* lo = v.row(-v.halo()) - v.halo();
+  const double* hi = v.row(v.ny() + v.halo() - 1) + v.nx() + v.halo();
+  return {reinterpret_cast<std::uintptr_t>(lo),
+          reinterpret_cast<std::uintptr_t>(hi)};
+}
+
+Span span_of(const FieldView3D& v) {
+  const double* lo = v.row(-v.halo(), -v.halo()) - v.halo();
+  const double* hi = v.row(v.nz() + v.halo() - 1, v.ny() + v.halo() - 1) +
+                     v.nx() + v.halo();
+  return {reinterpret_cast<std::uintptr_t>(lo),
+          reinterpret_cast<std::uintptr_t>(hi)};
+}
+
+template <class View>
+void check_disjoint(const char* which, const View& v, const char* other_name,
+                    const View& other) {
+  const Span a = span_of(v), b = span_of(other);
+  if (a.lo < b.hi && b.lo < a.hi)
+    bad_view(which, std::string("overlaps view '") + other_name +
+                        "'; executors need disjoint buffers");
+}
+
+void check_extent(const char* which, const char* axis, long have, long want) {
+  if (have != want) {
+    std::ostringstream os;
+    os << "has " << axis << " = " << have << " but was prepared for "
+       << want;
+    bad_view(which, os.str());
+  }
+}
+
+void check_stride(const char* which, int stride, int nx, int halo) {
+  if (stride % 8 != 0) {
+    std::ostringstream os;
+    os << "has row stride " << stride
+       << ", which is not a multiple of 8 doubles";
+    bad_view(which, os.str());
+  }
+  if (stride < nx + 2 * halo) {
+    std::ostringstream os;
+    os << "has row stride " << stride
+       << " < nx + 2*halo = " << nx + 2 * halo
+       << "; consecutive rows would alias";
+    bad_view(which, os.str());
+  }
+}
+
+void check_plane_stride(const char* which, std::size_t plane, int stride,
+                        int ny, int halo) {
+  const std::size_t need =
+      static_cast<std::size_t>(stride) * (ny + 2 * halo);
+  if (plane % 8 != 0) {
+    std::ostringstream os;
+    os << "has plane stride " << plane
+       << ", which is not a multiple of 8 doubles";
+    bad_view(which, os.str());
+  }
+  if (plane < need) {
+    std::ostringstream os;
+    os << "has plane stride " << plane << " < stride * (ny + 2*halo) = "
+       << need << "; consecutive planes would alias";
+    bad_view(which, os.str());
+  }
+}
+
+void validate(bool has_source, int need_halo, long nx, const FieldView1D& a,
+              const FieldView1D& b, const FieldView1D* k) {
+  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
+  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+  check_extent("a", "n", a.n(), nx);
+  check_extent("b", "n", b.n(), nx);
+  check_disjoint("b", b, "a", a);
+  if (has_source) {
+    if (k == nullptr)
+      throw std::invalid_argument(
+          "PreparedStencil::run: this stencil has a source term; use the "
+          "overload taking the source view 'k'");
+    check_common("k", k->valid(), k->layout(), k->halo(), need_halo,
+                 k->data());
+    check_extent("k", "n", k->n(), nx);
+    check_disjoint("k", *k, "a", a);
+    check_disjoint("k", *k, "b", b);
+  } else if (k != nullptr) {
+    throw std::invalid_argument(
+        "PreparedStencil::run: source view 'k' passed but the prepared "
+        "stencil has no source term");
+  }
+}
+
+void validate(int need_halo, long nx, long ny, const FieldView2D& a,
+              const FieldView2D& b) {
+  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
+  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+  check_extent("a", "nx", a.nx(), nx);
+  check_extent("a", "ny", a.ny(), ny);
+  check_extent("b", "nx", b.nx(), nx);
+  check_extent("b", "ny", b.ny(), ny);
+  check_stride("a", a.stride(), a.nx(), a.halo());
+  check_stride("b", b.stride(), b.nx(), b.halo());
+  check_disjoint("b", b, "a", a);
+}
+
+void validate(int need_halo, long nx, long ny, long nz, const FieldView3D& a,
+              const FieldView3D& b) {
+  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
+  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+  check_extent("a", "nx", a.nx(), nx);
+  check_extent("a", "ny", a.ny(), ny);
+  check_extent("a", "nz", a.nz(), nz);
+  check_extent("b", "nx", b.nx(), nx);
+  check_extent("b", "ny", b.ny(), ny);
+  check_extent("b", "nz", b.nz(), nz);
+  check_stride("a", a.stride(), a.nx(), a.halo());
+  check_stride("b", b.stride(), b.nx(), b.halo());
+  check_plane_stride("a", a.plane_stride(), a.stride(), a.ny(), a.halo());
+  check_plane_stride("b", b.plane_stride(), b.stride(), b.ny(), b.halo());
+  check_disjoint("b", b, "a", a);
+}
+
+// The Dirichlet halo is input state on *both* ping-pong buffers (kernels
+// read whichever buffer holds the current parity), so run() mirrors a's
+// halo ring into b before executing. Interior cells are not touched —
+// that is the zero-copy contract.
+void sync_halo(const FieldView1D& a, const FieldView1D& b) {
+  const int h = std::min(a.halo(), b.halo());
+  for (int i = -h; i < 0; ++i) b.at(i) = a.at(i);
+  for (int i = a.n(); i < a.n() + h; ++i) b.at(i) = a.at(i);
+}
+
+// O(surface), not O(volume): only the halo shell is copied — rows fully
+// inside the halo slabs in full, interior rows just their x rims.
+void sync_row_halo(const double* s, double* d, int nx, int h, bool full) {
+  if (full) {
+    for (int x = -h; x < nx + h; ++x) d[x] = s[x];
+  } else {
+    for (int x = -h; x < 0; ++x) d[x] = s[x];
+    for (int x = nx; x < nx + h; ++x) d[x] = s[x];
+  }
+}
+
+void sync_halo(const FieldView2D& a, const FieldView2D& b) {
+  const int h = std::min(a.halo(), b.halo());
+  for (int y = -h; y < a.ny() + h; ++y)
+    sync_row_halo(a.row(y), b.row(y), a.nx(), h, y < 0 || y >= a.ny());
+}
+
+void sync_halo(const FieldView3D& a, const FieldView3D& b) {
+  const int h = std::min(a.halo(), b.halo());
+  for (int z = -h; z < a.nz() + h; ++z) {
+    const bool halo_plane = z < 0 || z >= a.nz();
+    for (int y = -h; y < a.ny() + h; ++y)
+      sync_row_halo(a.row(z, y), b.row(z, y), a.nx(), h,
+                    halo_plane || y < 0 || y >= a.ny());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void PreparedStencil::run(FieldView1D a, FieldView1D b, int tsteps) const {
+  run(a, b, FieldView1D{}, tsteps);
+}
+
+void PreparedStencil::run(FieldView1D a, FieldView1D b, FieldView1D k,
+                          int tsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::run on an empty handle");
+  if (st_->spec.dims != 1)
+    throw std::invalid_argument("1-D run() on a stencil prepared for " +
+                                std::to_string(st_->spec.dims) + "-D");
+  const FieldView1D* kk = k.valid() ? &k : nullptr;
+  validate(st_->spec.has_source, st_->halo, st_->nx, a, b, kk);
+  sync_halo(a, b);
+  const Pattern1D* src = st_->spec.has_source ? &st_->spec.src1 : nullptr;
+  if (st_->plan.tiled)
+    run_tile_plan(st_->spec.p1, a, b, src, kk, tsteps, st_->plan.tile);
+  else
+    st_->kernel->run1(st_->spec.p1, a, b, src, kk, tsteps);
+}
+
+void PreparedStencil::run(FieldView2D a, FieldView2D b, int tsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::run on an empty handle");
+  if (st_->spec.dims != 2)
+    throw std::invalid_argument("2-D run() on a stencil prepared for " +
+                                std::to_string(st_->spec.dims) + "-D");
+  validate(st_->halo, st_->nx, st_->ny, a, b);
+  sync_halo(a, b);
+  if (st_->plan.tiled)
+    run_tile_plan(st_->spec.p2, a, b, tsteps, st_->plan.tile);
+  else
+    st_->kernel->run2(st_->spec.p2, a, b, tsteps);
+}
+
+void PreparedStencil::run(FieldView3D a, FieldView3D b, int tsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::run on an empty handle");
+  if (st_->spec.dims != 3)
+    throw std::invalid_argument("3-D run() on a stencil prepared for " +
+                                std::to_string(st_->spec.dims) + "-D");
+  validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b);
+  sync_halo(a, b);
+  if (st_->plan.tiled)
+    run_tile_plan(st_->spec.p3, a, b, tsteps, st_->plan.tile);
+  else
+    st_->kernel->run3(st_->spec.p3, a, b, tsteps);
+}
+
+void PreparedStencil::advance(FieldView1D a, FieldView1D b,
+                              int nsteps) const {
+  run(a, b, nsteps);
+}
+void PreparedStencil::advance(FieldView1D a, FieldView1D b, FieldView1D k,
+                              int nsteps) const {
+  run(a, b, k, nsteps);
+}
+void PreparedStencil::advance(FieldView2D a, FieldView2D b,
+                              int nsteps) const {
+  run(a, b, nsteps);
+}
+void PreparedStencil::advance(FieldView3D a, FieldView3D b,
+                              int nsteps) const {
+  run(a, b, nsteps);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;
+}
+
+template <int D>
+std::uint64_t hash_pattern(std::uint64_t h, const Pattern<D>& p) {
+  for (const auto& t : p.taps) {
+    for (int d = 0; d < D; ++d)
+      h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(t.off[d])));
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(t.w), "double is 64-bit");
+    __builtin_memcpy(&bits, &t.w, sizeof(bits));
+    h = fnv1a(h, bits);
+  }
+  return h;
+}
+
+std::uint64_t hash_spec(const StencilSpec& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(s.dims));
+  switch (s.dims) {
+    case 1: h = hash_pattern(h, s.p1); break;
+    case 2: h = hash_pattern(h, s.p2); break;
+    default: h = hash_pattern(h, s.p3); break;
+  }
+  h = fnv1a(h, s.has_source ? 1 : 0);
+  if (s.has_source) h = hash_pattern(h, s.src1);
+  return h;
+}
+
+template <int D>
+bool same_pattern(const Pattern<D>& a, const Pattern<D>& b) {
+  if (a.taps.size() != b.taps.size()) return false;
+  for (std::size_t i = 0; i < a.taps.size(); ++i) {
+    if (a.taps[i].off != b.taps[i].off) return false;
+    if (a.taps[i].w != b.taps[i].w) return false;
+  }
+  return true;
+}
+
+// Taps are kept sorted and offset-unique by the Pattern algebra, so
+// element-wise comparison is a canonical equality test. Identity metadata
+// (id, name) participates too: a pattern-identical custom spec must not be
+// handed a cached state whose spec() reports another stencil's name.
+bool same_spec(const StencilSpec& a, const StencilSpec& b) {
+  if (a.id != b.id || a.name != b.name) return false;
+  if (a.dims != b.dims || a.has_source != b.has_source) return false;
+  if (a.has_source && !same_pattern(a.src1, b.src1)) return false;
+  switch (a.dims) {
+    case 1: return same_pattern(a.p1, b.p1);
+    case 2: return same_pattern(a.p2, b.p2);
+    default: return same_pattern(a.p3, b.p3);
+  }
+}
+
+}  // namespace
+
+struct Engine::CacheEntry {
+  std::uint64_t spec_hash = 0;
+  ExecOptions opts;
+  long nx = 0, ny = 1, nz = 1;
+  int tsteps = 0;
+  long tune_version = 0;  // TuneCache generation the plan was built against
+  std::shared_ptr<const PreparedStencil::State> state;
+};
+
+Engine& Engine::instance() {
+  static Engine* e = new Engine();
+  return *e;
+}
+
+PreparedStencil Engine::prepare(Preset p, Extents ext,
+                                const ExecOptions& opts) {
+  return prepare(preset(p), ext, opts);
+}
+
+PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
+                                const ExecOptions& opts) {
+  // Defaults mirror Solver::resolve(): each unset extent independently
+  // falls back to the preset fast-run size.
+  if (ext.nx == 0) ext.nx = spec.small_size[0];
+  if (ext.ny == 0) ext.ny = spec.dims >= 2 ? spec.small_size[1] : 1;
+  if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
+  const int tsteps =
+      opts.tsteps > 0 ? opts.tsteps : static_cast<int>(spec.small_tsteps);
+
+  // Plans read the TuneCache, so a cached preparation is only valid for the
+  // tuner generation it was built against; any mutation (store, clear,
+  // file load) invalidates it — cheaply: the next prepare re-plans and
+  // picks the current tuning table up.
+  const std::uint64_t sh = hash_spec(spec);
+  const long tv = TuneCache::instance().generation();
+  auto matches = [&](const CacheEntry& e) {
+    return e.spec_hash == sh && e.nx == ext.nx && e.ny == ext.ny &&
+           e.nz == ext.nz && e.tsteps == tsteps &&
+           e.opts.method == opts.method && e.opts.isa == opts.isa &&
+           e.opts.tiling == opts.tiling && e.opts.threads == opts.threads &&
+           e.opts.tile == opts.tile &&
+           e.opts.time_block == opts.time_block &&
+           same_spec(e.state->spec, spec);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const CacheEntry& e : cache_)
+      if (e.tune_version == tv && matches(e)) {
+        ++hits_;
+        return PreparedStencil(e.state);
+      }
+  }
+
+  auto st = std::make_shared<PreparedStencil::State>();
+  st->spec = spec;
+  st->nx = ext.nx;
+  st->ny = ext.ny;
+  st->nz = ext.nz;
+  st->tsteps = tsteps;
+
+  const Method m =
+      opts.method == Method::Auto ? auto_method(spec, opts.isa) : opts.method;
+  st->kernel = find_kernel(m, spec.dims, opts.isa);
+  if (st->kernel == nullptr)
+    throw std::invalid_argument(std::string("no kernel registered for ") +
+                                method_name(m) + " in " +
+                                std::to_string(spec.dims) + "-D at " +
+                                isa_name(resolve_isa(opts.isa)));
+  st->halo = st->kernel->required_halo(effective_radius(spec));
+
+  PlanRequest req;
+  req.spec = &st->spec;
+  req.kernel = st->kernel;
+  req.nx = ext.nx;
+  req.ny = ext.ny;
+  req.nz = ext.nz;
+  req.tsteps = tsteps;
+  req.tiling = opts.tiling;
+  req.threads = opts.threads;
+  req.tile = opts.tile;
+  req.time_block = opts.time_block;
+  st->plan = plan_execution(req);
+
+  if (st->plan.tiled) warm_pool(st->plan.tile.threads);
+
+  CacheEntry entry;
+  entry.spec_hash = sh;
+  entry.opts = opts;
+  entry.nx = ext.nx;
+  entry.ny = ext.ny;
+  entry.nz = ext.nz;
+  entry.tsteps = tsteps;
+  entry.tune_version = tv;
+  entry.state = st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Entries from older tuner generations can never match again (lookups
+    // require the current generation), so evict them wholesale along with
+    // any same-request entry being superseded; a hard cap bounds the cache
+    // against unbounded distinct-shape churn in long-lived processes.
+    cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
+                                [&](const CacheEntry& e) {
+                                  return e.tune_version != tv || matches(e);
+                                }),
+                 cache_.end());
+    constexpr std::size_t kMaxEntries = 256;
+    if (cache_.size() >= kMaxEntries)
+      cache_.erase(cache_.begin());  // oldest first
+    cache_.push_back(std::move(entry));
+  }
+  return PreparedStencil(st);
+}
+
+std::size_t Engine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+long Engine::plan_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+void Engine::warm_pool(int threads) {
+  const int want = threads > 0 ? threads : omp_get_max_threads();
+  // The lock is held across the (empty) parallel region so a concurrent
+  // caller cannot observe warmed_threads_ updated before the workers
+  // actually exist; the workers never touch the engine, so this cannot
+  // deadlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (warmed_threads_ >= want) return;
+#pragma omp parallel num_threads(want)
+  {
+  }
+  warmed_threads_ = want;
+}
+
+}  // namespace sf

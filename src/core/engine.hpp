@@ -1,0 +1,182 @@
+/// \file
+/// \brief Prepared execution: one-time prepare, cheap repeatable execute.
+///
+/// `sf::Engine` is the process-wide planning service. It owns what used to
+/// be re-derived on every `Solver::run()`: the registry view (kernel
+/// selection), the plan cache (negotiated ExecutionPlans keyed on the full
+/// request), the tuner cache hookup, and the OpenMP worker-pool warmup, so
+/// parallel stages never pay thread-spinup on the execute path.
+///
+/// \code
+///   Engine& eng = Engine::instance();
+///   PreparedStencil ps = eng.prepare(preset(Preset::Heat2D),
+///                                    {4096, 4096}, {});
+///   Grid2D a(4096, 4096, ps.halo()), b(4096, 4096, ps.halo());
+///   fill_random(a, 42);
+///   ps.run(a, b, 500);          // zero-copy: result lands in `a`
+///   ps.run(a, b, 500);          // no re-plan, no allocation
+/// \endcode
+///
+/// A PreparedStencil is an immutable, thread-safe handle: distinct handles
+/// — or the same handle with distinct field sets — may run() concurrently
+/// from multiple threads. Fields are passed as zero-copy FieldViews
+/// (grid/field_view.hpp) over caller-owned memory; run() validates each
+/// view against the prepared geometry (extents, halo, alignment, stride,
+/// layout) and throws std::invalid_argument on mismatch instead of
+/// corrupting memory.
+///
+/// `sf::Solver` (core/solver.hpp) remains the convenience facade: it owns
+/// its grids and drives this layer underneath.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/execution_plan.hpp"
+#include "grid/grid.hpp"
+#include "kernels/registry.hpp"
+#include "stencil/presets.hpp"
+
+namespace sf {
+
+/// Problem extents of a prepare request. Unset (0) trailing extents default
+/// to the stencil's preset fast-run size, mirroring Solver::size().
+struct Extents {
+  long nx = 0;  ///< First extent.
+  long ny = 0;  ///< Second extent (ignored below 2-D).
+  long nz = 0;  ///< Third extent (ignored below 3-D).
+};
+
+/// Execution knobs of a prepare request — the planning-relevant subset of
+/// the Solver builder, in one aggregate.
+struct ExecOptions {
+  Method method = Method::Auto;  ///< Kernel method (Auto = fold cost model).
+  Isa isa = Isa::Auto;           ///< ISA level (Auto = widest supported).
+  Tiling tiling = Tiling::Auto;  ///< Split-tiling policy.
+  int threads = 0;     ///< OpenMP threads for tiled stages (0 = default).
+  int tile = 0;        ///< Explicit tile extent (0 = negotiate/tune).
+  int time_block = 0;  ///< Explicit time block (0 = negotiate/tune).
+  int tsteps = 0;  ///< Planning horizon in time steps (0 = preset default).
+                   ///< run() may execute a different horizon; the captured
+                   ///< geometry is simply re-clamped by the engine.
+};
+
+/// Immutable, thread-safe handle to one prepared stencil execution: the
+/// negotiated kernel, halo, ExecutionPlan and tile geometry, captured once
+/// by Engine::prepare(). Copies share the underlying prepared state.
+///
+/// run()/advance() execute zero-copy on caller-owned buffers. The result
+/// always lands in `a`; `b` is same-shaped scratch whose halo run() syncs
+/// from `a` (Dirichlet halos are part of the input state, and both
+/// ping-pong buffers expose them to the kernels).
+class PreparedStencil {
+ public:
+  /// An empty handle; valid() is false and run() throws. Assign from
+  /// Engine::prepare() to obtain a usable one.
+  PreparedStencil() = default;
+
+  /// True when this handle holds prepared state.
+  bool valid() const { return st_ != nullptr; }
+
+  /// The stencil this handle was prepared for.
+  const StencilSpec& spec() const;
+  /// The negotiated kernel's registry entry.
+  const KernelInfo& kernel() const;
+  /// Minimum halo the field views must be allocated with.
+  int halo() const;
+  /// The captured execution plan (untiled or split-tiled geometry).
+  const ExecutionPlan& plan() const;
+  /// Prepared first extent.
+  long nx() const;
+  /// Prepared second extent (1 below 2-D).
+  long ny() const;
+  /// Prepared third extent (1 below 3-D).
+  long nz() const;
+  /// The planning horizon the geometry was negotiated for.
+  int tsteps() const;
+
+  /// Executes `tsteps` steps on a 1-D source-free stencil; result in `a`.
+  /// Throws std::invalid_argument on view/shape mismatch.
+  void run(FieldView1D a, FieldView1D b, int tsteps) const;
+  /// 1-D run with the APOP time-invariant source array `k`.
+  void run(FieldView1D a, FieldView1D b, FieldView1D k, int tsteps) const;
+  /// 2-D run; result in `a`.
+  void run(FieldView2D a, FieldView2D b, int tsteps) const;
+  /// 3-D run; result in `a`.
+  void run(FieldView3D a, FieldView3D b, int tsteps) const;
+
+  /// Streaming entry point: advances the fields `nsteps` further steps.
+  /// Identical semantics to run() (result in `a` after every call), named
+  /// separately so step-wise callers express intent; repeated small
+  /// advances are valid because no per-call planning or allocation occurs.
+  void advance(FieldView1D a, FieldView1D b, int nsteps) const;
+  /// 1-D streaming advance with the APOP source array `k`.
+  void advance(FieldView1D a, FieldView1D b, FieldView1D k, int nsteps) const;
+  /// 2-D streaming advance.
+  void advance(FieldView2D a, FieldView2D b, int nsteps) const;
+  /// 3-D streaming advance.
+  void advance(FieldView3D a, FieldView3D b, int nsteps) const;
+
+ private:
+  friend class Engine;
+  struct State;
+  explicit PreparedStencil(std::shared_ptr<const State> st)
+      : st_(std::move(st)) {}
+
+  std::shared_ptr<const State> st_;
+};
+
+/// Process-wide prepared-execution service. prepare() performs the one-time
+/// work — kernel selection, halo negotiation, plan/tune-cache consultation,
+/// worker-pool warmup — and hands back an immutable PreparedStencil.
+/// Identical requests (same stencil, extents, options, and tuner-cache
+/// generation) return a shared cached preparation. Thread-safe.
+class Engine {
+ public:
+  /// The process-wide engine.
+  static Engine& instance();
+
+  /// Prepares one stencil execution. Unset extents/horizon default to the
+  /// spec's preset fast-run values. Throws std::invalid_argument when no
+  /// kernel is registered for the requested (method, dims, ISA).
+  PreparedStencil prepare(const StencilSpec& spec, Extents ext = {},
+                          const ExecOptions& opts = {});
+  /// Preset convenience overload of prepare().
+  PreparedStencil prepare(Preset p, Extents ext = {},
+                          const ExecOptions& opts = {});
+
+  /// Number of distinct preparations currently cached.
+  std::size_t plan_cache_size() const;
+  /// prepare() calls served from the cache over this engine's lifetime.
+  long plan_cache_hits() const;
+
+  /// Ensures the calling thread's OpenMP worker pool holds at least
+  /// `threads` threads (0 = the OpenMP default) by running one empty
+  /// parallel region, so the first tiled run() from this thread does not
+  /// pay thread creation. prepare() calls this automatically for tiled
+  /// plans. OpenMP teams are per master thread: a client thread other
+  /// than the preparing one pays its own one-time spinup on its first
+  /// tiled run (or can call warm_pool itself beforehand).
+  void warm_pool(int threads = 0);
+
+ private:
+  Engine() = default;
+
+  struct CacheEntry;
+
+  mutable std::mutex mu_;
+  std::vector<CacheEntry> cache_;
+  long hits_ = 0;
+  int warmed_threads_ = 0;
+};
+
+/// Useful FLOPs per time step for a stencil at the given size.
+double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
+
+/// The method Auto resolves to for this stencil at this ISA: the deepest
+/// profitable fold (paper Eq. 3) whose vector path engages at the pattern's
+/// radius, falling back through the paper's method ordering.
+Method auto_method(const StencilSpec& spec, Isa isa);
+
+}  // namespace sf

@@ -126,15 +126,18 @@ ExecutionPlan plan_execution(const PlanRequest& req) {
   plan.tile.time_block = g.time_block;
   plan.tile.threads = g.threads;
   // Explicit geometry outranks the cache; a fully-auto request recalls any
-  // previously-measured result for this exact configuration. A cached
-  // geometry is re-validated against *this* domain before it is trusted —
-  // a cache file can legitimately come from another machine or be edited —
-  // and an unblockable entry is ignored in favor of the heuristics.
+  // previously-measured result for this configuration — exact shape first,
+  // then the quarter-octave shape bucket (core/tuner.hpp tune_bucket), so
+  // nearby production sizes reuse measurements instead of re-tuning. A
+  // cached geometry is re-validated against *this* domain before it is
+  // trusted — a cache file can legitimately come from another machine or
+  // be edited — and an unblockable entry is ignored in favor of the
+  // heuristics.
   if (req.tile == 0 && req.time_block == 0) {
     const TuneKey key =
         make_tune_key(*req.kernel, effective_radius(*req.spec), req.nx,
                       req.ny, req.nz, req.tsteps, g.threads);
-    if (auto hit = TuneCache::instance().lookup(key)) {
+    if (auto hit = TuneCache::instance().lookup_rounded(key)) {
       PlanRequest cached = req;
       cached.tile = hit->tile;
       cached.time_block = hit->time_block;

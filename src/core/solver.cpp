@@ -10,43 +10,13 @@
 #include "common/env.hpp"
 #include "common/timing.hpp"
 #include "core/tuner.hpp"
-#include "fold/cost_model.hpp"
 #include "grid/grid_utils.hpp"
 #include "stencil/reference.hpp"
+#include "tiling/split_tiling.hpp"
 
 namespace sf {
 
-double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz) {
-  double pts = static_cast<double>(nx);
-  long f = 0;
-  switch (spec.dims) {
-    case 1:
-      f = spec.p1.flops_per_point();
-      if (spec.has_source) f += 2 * static_cast<long>(spec.src1.size());
-      break;
-    case 2:
-      pts *= static_cast<double>(ny);
-      f = spec.p2.flops_per_point();
-      break;
-    case 3:
-      pts *= static_cast<double>(ny) * static_cast<double>(nz);
-      f = spec.p3.flops_per_point();
-      break;
-    default:
-      throw std::logic_error("bad dims");
-  }
-  return pts * static_cast<double>(f);
-}
-
 namespace {
-
-bool fold_profitable(const StencilSpec& s, int m) {
-  switch (s.dims) {
-    case 1: return profitability(s.p1, m).index_vec() > 1.0;
-    case 2: return profitability(s.p2, m).index_vec() > 1.0;
-    default: return profitability(s.p3, m).index_vec() > 1.0;
-  }
-}
 
 /// The one dimensionality switch of the whole facade: every other piece of
 /// the run path is written once, generically, against D.
@@ -131,24 +101,6 @@ std::vector<int> tile_candidates(long n, int slope, int threads,
 
 }  // namespace
 
-Method auto_method(const StencilSpec& spec, Isa isa) {
-  const int r = effective_radius(spec);
-  // Deepest fold first: fold when the cost model says the folded collect
-  // beats the naive expansion *and* the folded vector path engages at this
-  // radius. Then the paper's single-step ordering (Table 2):
-  // ours > dlt > data-reorg > multiple-loads > naive.
-  const KernelInfo* folded = find_kernel(Method::Ours2, spec.dims, isa);
-  if (folded != nullptr && folded->supports(r) &&
-      fold_profitable(spec, folded->fold_depth))
-    return Method::Ours2;
-  for (Method m : {Method::Ours, Method::DLT, Method::DataReorg,
-                   Method::MultipleLoads}) {
-    const KernelInfo* k = find_kernel(m, spec.dims, isa);
-    if (k != nullptr && k->supports(r)) return m;
-  }
-  return Method::Naive;
-}
-
 // ---------------------------------------------------------------------------
 // Builder
 // ---------------------------------------------------------------------------
@@ -158,18 +110,21 @@ Solver& Solver::size(long nx, long ny, long nz) {
   cfg_.ny = ny;
   cfg_.nz = nz;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::steps(int tsteps) {
   cfg_.tsteps = tsteps;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::method(Method m) {
   cfg_.method = m;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
@@ -180,30 +135,35 @@ Solver& Solver::method(const std::string& name) {
 Solver& Solver::isa(Isa v) {
   cfg_.isa = v;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::tiling(Tiling mode) {
   cfg_.tiling = mode;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::threads(int n) {
   cfg_.threads = n;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::tile(int extent) {
   cfg_.tile = extent;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
 Solver& Solver::time_block(int steps) {
   cfg_.time_block = steps;
   selected_ = nullptr;
+  prepared_ = PreparedStencil{};
   return *this;
 }
 
@@ -218,7 +178,7 @@ Solver& Solver::seed(std::uint64_t s) {
 }
 
 // ---------------------------------------------------------------------------
-// Resolution
+// Resolution: one Engine::prepare call captures kernel, halo and plan.
 // ---------------------------------------------------------------------------
 
 Solver& Solver::resolve() {
@@ -233,17 +193,24 @@ Solver& Solver::resolve() {
     cfg_.nz = cfg_.spec.dims >= 3 ? cfg_.spec.small_size[2] : 1;
   if (cfg_.tsteps == 0) cfg_.tsteps = static_cast<int>(cfg_.spec.small_tsteps);
 
-  const Method m =
-      cfg_.method == Method::Auto ? auto_method(cfg_.spec, cfg_.isa) : cfg_.method;
-  selected_ = find_kernel(m, cfg_.spec.dims, cfg_.isa);
-  if (selected_ == nullptr)
-    throw std::invalid_argument(std::string("no kernel registered for ") +
-                                method_name(m) + " in " +
-                                std::to_string(cfg_.spec.dims) + "-D at " +
-                                isa_name(resolve_isa(cfg_.isa)));
-  halo_ = selected_->required_halo(effective_radius(cfg_.spec));
-  plan_ = plan_execution(plan_request());
+  prepared_ = Engine::instance().prepare(
+      cfg_.spec, Extents{cfg_.nx, cfg_.ny, cfg_.nz}, exec_options());
+  selected_ = &prepared_.kernel();
+  halo_ = prepared_.halo();
+  plan_ = prepared_.plan();
   return *this;
+}
+
+ExecOptions Solver::exec_options() const {
+  ExecOptions o;
+  o.method = cfg_.method;
+  o.isa = cfg_.isa;
+  o.tiling = cfg_.tiling;
+  o.threads = cfg_.threads;
+  o.tile = cfg_.tile;
+  o.time_block = cfg_.time_block;
+  o.tsteps = cfg_.tsteps;
+  return o;
 }
 
 PlanRequest Solver::plan_request() const {
@@ -277,7 +244,7 @@ int Solver::halo() { return resolve().halo_; }
 // geometry worth measuring.
 template <int D, class P, class G>
 void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
-                       const Grid1D* kk) {
+                       const FieldView1D* kk) {
   if (!(plan_.tiled && plan_.blocked && (cfg_.tune || tune_forced()) &&
         plan_.source == PlanSource::Heuristic && cfg_.tile == 0 &&
         cfg_.time_block == 0))
@@ -338,14 +305,17 @@ void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
   treq.tile = best_tile;
   treq.time_block = 0;
   const WedgeGeometry deployed = plan_geometry(treq);
-  plan_.tile.tile = deployed.tile;
-  plan_.tile.time_block = deployed.time_block;
-  plan_.blocked = deployed.blocked;
-  plan_.source = PlanSource::Tuned;
   TuneCache::instance().store(
       make_tune_key(*selected_, effective_radius(cfg_.spec), cfg_.nx, cfg_.ny,
                     cfg_.nz, cfg_.tsteps, plan_.tile.threads),
       TunedGeometry{deployed.tile, deployed.time_block});
+  // The store bumped the tuner generation, so this re-prepare re-plans and
+  // recalls the geometry just recorded: the prepared handle the timed run
+  // executes through carries the tuned plan.
+  prepared_ = Engine::instance().prepare(
+      cfg_.spec, Extents{cfg_.nx, cfg_.ny, cfg_.nz}, exec_options());
+  plan_ = prepared_.plan();
+  plan_.source = PlanSource::Tuned;  // report provenance, not cache recall
   fill_random(a, cfg_.seed);  // probes clobbered the initial state
 }
 
@@ -378,13 +348,15 @@ RunResult Solver::run_impl(bool verify) {
     }
     fill_random(*A, cfg_.seed);
     [[maybe_unused]] const Pattern1D* src = nullptr;
-    [[maybe_unused]] const Grid1D* kk = nullptr;
+    [[maybe_unused]] FieldView1D kview;
+    [[maybe_unused]] const FieldView1D* kk = nullptr;
     if constexpr (D == 1) {
       if (s.has_source) {
         if (!ws_.k1) ws_.k1.emplace(make_grid<1>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
         fill_random(*ws_.k1, cfg_.seed + 1);
         src = &s.src1;
-        kk = &*ws_.k1;
+        kview = ws_.k1->view();
+        kk = &kview;
       }
     }
 
@@ -396,17 +368,12 @@ RunResult Solver::run_impl(bool verify) {
     res.points = cfg_.nx * (D >= 2 ? cfg_.ny : 1) * (D >= 3 ? cfg_.nz : 1);
     Timer timer;
     if constexpr (D == 1) {
-      if (plan_.tiled)
-        run_tile_plan(p, *A, *B, src, kk, cfg_.tsteps, plan_.tile);
+      if (kk != nullptr)
+        prepared_.run(A->view(), B->view(), *kk, cfg_.tsteps);
       else
-        selected_->run1(p, *A, *B, src, kk, cfg_.tsteps);
+        prepared_.run(A->view(), B->view(), cfg_.tsteps);
     } else {
-      if (plan_.tiled)
-        run_tile_plan(p, *A, *B, cfg_.tsteps, plan_.tile);
-      else if constexpr (D == 2)
-        selected_->run2(p, *A, *B, cfg_.tsteps);
-      else
-        selected_->run3(p, *A, *B, cfg_.tsteps);
+      prepared_.run(A->view(), B->view(), cfg_.tsteps);
     }
     do_not_optimize(A->data());
     res.seconds = timer.seconds();

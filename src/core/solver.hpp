@@ -13,15 +13,18 @@
 ///                     .run();
 /// \endcode
 ///
-/// The Solver owns a Workspace (grids + scratch) whose halo is negotiated
-/// from the selected kernel's capability (KernelInfo::required_halo), picks
-/// the kernel through the registry — driven by the fold cost model when the
-/// method is Auto — and builds an ExecutionPlan that decides untiled vs.
-/// split-tiled execution and the concrete tile/time_block/threads geometry
-/// (core/execution_plan.hpp). With `tune(true)` (or `SF_TUNE=1`) the first
-/// run of a configuration measures a handful of candidate tile extents and
-/// caches the winner (core/tuner.hpp), so later runs — and later processes
-/// when `SF_TUNE_CACHE` is set — plan for free.
+/// The Solver is a thin convenience facade over the prepared-execution
+/// layer (core/engine.hpp): resolve() asks the process-wide Engine to
+/// prepare the run — kernel selection through the registry (fold cost model
+/// when the method is Auto), halo negotiation
+/// (KernelInfo::required_halo), and the ExecutionPlan that decides untiled
+/// vs. split-tiled execution with its concrete tile/time_block/threads
+/// geometry (core/execution_plan.hpp) — and run() executes the resulting
+/// PreparedStencil on the Solver-owned Workspace grids. With `tune(true)`
+/// (or `SF_TUNE=1`) the first run of a configuration measures a handful of
+/// candidate tile extents and caches the winner (core/tuner.hpp), so later
+/// runs — and later processes when `SF_TUNE_CACHE` is set — plan for free.
+/// Callers who own their buffers use Engine::prepare directly.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,7 @@
 #include <string>
 
 #include "common/cpu.hpp"
+#include "core/engine.hpp"
 #include "core/execution_plan.hpp"
 #include "grid/grid.hpp"
 #include "kernels/registry.hpp"
@@ -76,15 +80,7 @@ struct RunResult {
   int tsteps = 0;         ///< Time steps executed.
 };
 
-/// Useful FLOPs per time step for a stencil at the given size.
-double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);
-
-/// The method Auto resolves to for this stencil at this ISA: the deepest
-/// profitable fold (paper Eq. 3) whose vector path engages at the pattern's
-/// radius, falling back through the paper's method ordering.
-Method auto_method(const StencilSpec& spec, Isa isa);
-
-/// Builder-style facade over the registry, planner, tuner and executors.
+/// Builder-style facade over the Engine's prepared-execution layer.
 class Solver {
  public:
   /// Starts a builder chain for one of the paper's Table-1 presets.
@@ -94,14 +90,17 @@ class Solver {
 
   /// Copying a Solver copies its *specification* (stencil, size, method,
   /// ...) but not the workspace grids: the copy starts with an empty
-  /// workspace and allocates on its first run. This keeps builder chains
+  /// workspace and allocates on its first run. The prepared handle is
+  /// shared — preparations are immutable. This keeps builder chains
   /// assignable (`Solver s = Solver::make(p).method(...).steps(...);`).
   Solver(const Solver& o)
-      : cfg_(o.cfg_), selected_(o.selected_), halo_(o.halo_), plan_(o.plan_) {}
+      : cfg_(o.cfg_), prepared_(o.prepared_), selected_(o.selected_),
+        halo_(o.halo_), plan_(o.plan_) {}
   /// Specification-copying assignment; see the copy constructor.
   Solver& operator=(const Solver& o) {
     if (this != &o) {
       cfg_ = o.cfg_;
+      prepared_ = o.prepared_;
       selected_ = o.selected_;
       halo_ = o.halo_;
       plan_ = o.plan_;
@@ -158,11 +157,16 @@ class Solver {
   // ---- resolved view ----------------------------------------------------
   /// The stencil being solved.
   const StencilSpec& spec() const { return cfg_.spec; }
-  /// Selects the kernel (resolving Method::Auto via the cost model), fills
-  /// defaulted sizes/steps, and builds the execution plan. Throws
-  /// std::invalid_argument if no kernel is registered for the request.
-  /// Idempotent.
+  /// Prepares the run through the process-wide Engine: selects the kernel
+  /// (resolving Method::Auto via the cost model), fills defaulted
+  /// sizes/steps, and captures the execution plan in a PreparedStencil.
+  /// Throws std::invalid_argument if no kernel is registered for the
+  /// request. Idempotent.
   Solver& resolve();
+  /// The Engine-prepared handle this Solver executes through; resolves
+  /// first. Useful for migrating to caller-owned buffers: the same handle
+  /// can run() on any conforming FieldViews.
+  const PreparedStencil& prepared() { return resolve().prepared_; }
   /// The selected kernel's registry entry; resolves first.
   const KernelInfo& kernel();
   /// Negotiated workspace halo; resolves first.
@@ -216,18 +220,22 @@ class Solver {
   /// selected kernel). Built in one place so resolve() and the tuning pass
   /// can never disagree on the request fields.
   PlanRequest plan_request() const;
+  /// The Engine prepare options for the current configuration.
+  ExecOptions exec_options() const;
   /// The measure-once auto-tuning pass: when enabled and the plan is a
   /// blocked heuristic one, probes candidate tile geometries on (a, b),
-  /// upgrades plan_ to the winner (source = Tuned), records it in the
-  /// TuneCache, and restores `a`'s initial state. No-op otherwise.
+  /// records the winner in the TuneCache, re-prepares through the Engine
+  /// (which now recalls the tuned geometry), upgrades plan_ to the winner
+  /// (source = Tuned), and restores `a`'s initial state. No-op otherwise.
   template <int D, class P, class G>
   void tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
-                 const Grid1D* kk);
+                 const FieldView1D* kk);
 
   Config cfg_;
-  const KernelInfo* selected_ = nullptr;  // set by resolve()
+  PreparedStencil prepared_;              // set by resolve()
+  const KernelInfo* selected_ = nullptr;  // mirrors prepared_ for accessors
   int halo_ = 0;
-  ExecutionPlan plan_;
+  ExecutionPlan plan_;  // prepared_'s plan, upgraded in place by tune_pass
   Workspace ws_;
 };
 

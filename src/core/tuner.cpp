@@ -64,6 +64,23 @@ TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
   return k;
 }
 
+long tune_bucket(long n) {
+  if (n <= 0) return n;
+  long lo = 1;
+  while (lo * 2 <= n) lo *= 2;  // lo = 2^floor(log2 n)
+  const long q = lo / 4;        // quarter-octave step
+  return q > 0 ? lo + (n - lo) / q * q : n;
+}
+
+TuneKey bucketed_key(const TuneKey& k) {
+  TuneKey b = k;
+  b.nx = tune_bucket(k.nx);
+  b.ny = tune_bucket(k.ny);
+  b.nz = tune_bucket(k.nz);
+  b.tsteps = static_cast<int>(tune_bucket(k.tsteps));
+  return b;
+}
+
 TuneCache& TuneCache::instance() {
   static TuneCache* cache = [] {
     auto* c = new TuneCache();
@@ -86,9 +103,20 @@ std::optional<TunedGeometry> TuneCache::lookup(const TuneKey& key) const {
   return lookup_locked(key);
 }
 
+std::optional<TunedGeometry> TuneCache::lookup_rounded(
+    const TuneKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto exact = lookup_locked(key)) return exact;
+  const TuneKey want = bucketed_key(key);
+  for (const auto& e : entries_)
+    if (bucketed_key(e.first) == want) return e.second;
+  return std::nullopt;
+}
+
 void TuneCache::store(const TuneKey& key, const TunedGeometry& g) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stores_;
+  ++generation_;
   bool replaced = false;
   for (auto& e : entries_)
     if (e.first == key) {
@@ -110,6 +138,11 @@ long TuneCache::stored_count() const {
   return stores_;
 }
 
+long TuneCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
 std::size_t TuneCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
@@ -118,6 +151,7 @@ std::size_t TuneCache::size() const {
 void TuneCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  ++generation_;
 }
 
 std::size_t TuneCache::load_file(const std::string& path) {
@@ -126,6 +160,7 @@ std::size_t TuneCache::load_file(const std::string& path) {
   std::size_t loaded = 0;
   std::string line;
   std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     TuneKey k;

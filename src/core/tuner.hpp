@@ -62,6 +62,16 @@ struct TunedGeometry {
 TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
                       long nz, int tsteps, int threads);
 
+/// Rounds an extent down to its tuning bucket: quarter-octave edges
+/// (1.0x, 1.25x, 1.5x, 1.75x of each power of two), so production sweeps
+/// whose shapes differ by a few percent share one bucket while shapes a
+/// cache level apart never do. Monotone; tune_bucket(n) <= n.
+long tune_bucket(long n);
+
+/// The key with its shape (nx, ny, nz) and horizon rounded into buckets
+/// via tune_bucket(); kernel/radius/threads stay exact.
+TuneKey bucketed_key(const TuneKey& k);
+
 /// Process-wide tuning table. Thread-safe. The singleton loads
 /// `SF_TUNE_CACHE` (when set) on first use, and store() appends each new
 /// result to that file so later processes start warm.
@@ -73,6 +83,14 @@ class TuneCache {
   /// The tuned geometry recorded for `key`, if any.
   std::optional<TunedGeometry> lookup(const TuneKey& key) const;
 
+  /// Widened lookup: an exact-shape entry always wins; on a miss, any
+  /// entry whose kernel/radius/threads match exactly and whose shape and
+  /// horizon fall in the same tune_bucket() buckets is returned — so
+  /// nearby production sizes reuse measurements instead of re-tuning.
+  /// Callers must re-validate the geometry against their real extents
+  /// (plan_execution does) before deploying it.
+  std::optional<TunedGeometry> lookup_rounded(const TuneKey& key) const;
+
   /// Records (or overwrites) the geometry for `key`; appends to the
   /// SF_TUNE_CACHE file when the singleton was configured with one.
   void store(const TuneKey& key, const TunedGeometry& g);
@@ -81,6 +99,11 @@ class TuneCache {
   /// assert measure-once behavior: a second run of a tuned configuration
   /// must not store (= must not have re-measured) again.
   long stored_count() const;
+
+  /// Monotone counter bumped by every mutation (store, clear, load_file).
+  /// Consumers that cache *derived* state — the Engine's plan cache — key
+  /// on it so any change to the tuning table invalidates them.
+  long generation() const;
 
   /// Number of distinct keys currently cached.
   std::size_t size() const;
@@ -108,6 +131,7 @@ class TuneCache {
   std::vector<std::pair<TuneKey, TunedGeometry>> entries_;
   std::string persist_path_;  // "" = in-process only
   long stores_ = 0;
+  long generation_ = 0;
 };
 
 }  // namespace sf

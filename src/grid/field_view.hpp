@@ -1,0 +1,188 @@
+/// \file
+/// \brief Non-owning, zero-copy field views — the executor-facing grid type.
+///
+/// A FieldView is a pointer + extents + stride + halo (plus a Layout tag)
+/// over memory the *caller* owns. Every executor in the library — the
+/// registry kernels, the split-tiling engine, the naive reference — runs on
+/// views, so a PreparedStencil (core/engine.hpp) can execute directly on
+/// user buffers without the library ever allocating or copying field data.
+/// Grid{1,2,3}D (grid/grid.hpp) remain the library's allocators and convert
+/// to views implicitly.
+///
+/// Views use *shallow const* semantics, like std::span: a `const FieldView&`
+/// still hands out writable element access, because the view is a borrowed
+/// reference to the caller's mutable buffer, not an owner. Executors take
+/// `const FieldView&` parameters and write results through them.
+///
+/// Memory contract (what Grid guarantees and what raw caller buffers must
+/// match — PreparedStencil::run validates it):
+///  * interior element (0[,0,0]) is 64-byte aligned;
+///  * the row stride is a multiple of 8 doubles, so the first interior
+///    element of every row/plane is 64-byte aligned too;
+///  * `halo` cells are addressable on each side of every dimension and hold
+///    Dirichlet boundary values that executors read but never write.
+#pragma once
+
+#include <cstddef>
+
+namespace sf {
+
+/// Storage order of the elements a view covers. Executors expect Natural
+/// input and apply/undo the paper's layouts internally; the tag exists so
+/// buffers that are *kept* in a transformed layout (e.g. streaming callers
+/// that amortize the transpose) are explicit rather than silently
+/// misinterpreted.
+enum class Layout {
+  Natural,     ///< Plain row-major order (what Grid allocates).
+  Transposed,  ///< Register-transpose layout (layout/transpose_layout.hpp).
+  DLT,         ///< Dimension-lifting transpose (layout/dlt_layout.hpp).
+};
+
+/// Display name of a Layout ("natural", "transposed", "dlt").
+inline const char* layout_name(Layout l) {
+  switch (l) {
+    case Layout::Natural: return "natural";
+    case Layout::Transposed: return "transposed";
+    case Layout::DLT: return "dlt";
+  }
+  return "?";
+}
+
+/// Non-owning view of a 1-D halo field: n interior elements with `halo`
+/// addressable cells on each side.
+class FieldView1D {
+ public:
+  /// An empty view (valid() is false).
+  FieldView1D() = default;
+  /// Wraps caller memory; `interior` points at logical element 0 (halo at
+  /// negative indices).
+  FieldView1D(double* interior, int n, int halo,
+              Layout layout = Layout::Natural)
+      : p_(interior), n_(n), halo_(halo), layout_(layout) {}
+
+  /// Interior extent.
+  int n() const { return n_; }
+  /// Addressable halo cells on each side.
+  int halo() const { return halo_; }
+  /// Storage-order tag of the wrapped memory.
+  Layout layout() const { return layout_; }
+  /// True when the view wraps memory (default-constructed views do not).
+  bool valid() const { return p_ != nullptr; }
+
+  /// Pointer to interior element 0; valid indices are [-halo, n+halo).
+  double* data() const { return p_; }
+  /// Element access by logical index (halo at negative indices).
+  double& at(int i) const { return p_[i]; }
+
+  /// The same view re-tagged with `l` (no data movement).
+  FieldView1D with_layout(Layout l) const {
+    return FieldView1D(p_, n_, halo_, l);
+  }
+
+ private:
+  double* p_ = nullptr;
+  int n_ = 0, halo_ = 0;
+  Layout layout_ = Layout::Natural;
+};
+
+/// Non-owning view of a 2-D halo field: ny x nx interior, rows `stride`
+/// doubles apart.
+class FieldView2D {
+ public:
+  /// An empty view (valid() is false).
+  FieldView2D() = default;
+  /// Wraps caller memory; `interior` points at logical element (0,0).
+  FieldView2D(double* interior, int ny, int nx, int stride, int halo,
+              Layout layout = Layout::Natural)
+      : p_(interior), ny_(ny), nx_(nx), stride_(stride), halo_(halo),
+        layout_(layout) {}
+
+  /// Interior row count.
+  int ny() const { return ny_; }
+  /// Interior row extent.
+  int nx() const { return nx_; }
+  /// Distance between consecutive rows, in doubles.
+  int stride() const { return stride_; }
+  /// Addressable halo cells on each side of each dimension.
+  int halo() const { return halo_; }
+  /// Storage-order tag of the wrapped memory.
+  Layout layout() const { return layout_; }
+  /// True when the view wraps memory (default-constructed views do not).
+  bool valid() const { return p_ != nullptr; }
+
+  /// Pointer to interior element (0,0); valid (y,x) with y in
+  /// [-halo, ny+halo) and x in [-halo, nx+halo).
+  double* data() const { return p_; }
+  /// Pointer to interior element (y, 0); y may range over the halo.
+  double* row(int y) const {
+    return p_ + static_cast<std::ptrdiff_t>(y) * stride_;
+  }
+  /// Element access by logical index (halo at negative indices).
+  double& at(int y, int x) const { return row(y)[x]; }
+
+  /// The same view re-tagged with `l` (no data movement).
+  FieldView2D with_layout(Layout l) const {
+    return FieldView2D(p_, ny_, nx_, stride_, halo_, l);
+  }
+
+ private:
+  double* p_ = nullptr;
+  int ny_ = 0, nx_ = 0, stride_ = 0, halo_ = 0;
+  Layout layout_ = Layout::Natural;
+};
+
+/// Non-owning view of a 3-D halo field: nz x ny x nx interior, rows
+/// `stride` doubles apart, planes `plane_stride` doubles apart.
+class FieldView3D {
+ public:
+  /// An empty view (valid() is false).
+  FieldView3D() = default;
+  /// Wraps caller memory; `interior` points at logical element (0,0,0).
+  FieldView3D(double* interior, int nz, int ny, int nx, int stride,
+              std::size_t plane_stride, int halo,
+              Layout layout = Layout::Natural)
+      : p_(interior), nz_(nz), ny_(ny), nx_(nx), stride_(stride),
+        plane_(plane_stride), halo_(halo), layout_(layout) {}
+
+  /// Interior plane count.
+  int nz() const { return nz_; }
+  /// Interior row count per plane.
+  int ny() const { return ny_; }
+  /// Interior row extent.
+  int nx() const { return nx_; }
+  /// Distance between consecutive rows, in doubles.
+  int stride() const { return stride_; }
+  /// Distance between consecutive planes, in doubles.
+  std::size_t plane_stride() const { return plane_; }
+  /// Addressable halo cells on each side of each dimension.
+  int halo() const { return halo_; }
+  /// Storage-order tag of the wrapped memory.
+  Layout layout() const { return layout_; }
+  /// True when the view wraps memory (default-constructed views do not).
+  bool valid() const { return p_ != nullptr; }
+
+  /// Pointer to interior element (0,0,0).
+  double* data() const { return p_; }
+  /// Pointer to interior element (z, y, 0); z/y may range over the halo.
+  double* row(int z, int y) const {
+    return p_ + static_cast<std::ptrdiff_t>(z) *
+                    static_cast<std::ptrdiff_t>(plane_) +
+           static_cast<std::ptrdiff_t>(y) * stride_;
+  }
+  /// Element access by logical index (halo at negative indices).
+  double& at(int z, int y, int x) const { return row(z, y)[x]; }
+
+  /// The same view re-tagged with `l` (no data movement).
+  FieldView3D with_layout(Layout l) const {
+    return FieldView3D(p_, nz_, ny_, nx_, stride_, plane_, halo_, l);
+  }
+
+ private:
+  double* p_ = nullptr;
+  int nz_ = 0, ny_ = 0, nx_ = 0, stride_ = 0;
+  std::size_t plane_ = 0;
+  int halo_ = 0;
+  Layout layout_ = Layout::Natural;
+};
+
+}  // namespace sf

@@ -1,4 +1,5 @@
-// Initialization and comparison helpers for the halo grids.
+// Initialization and comparison helpers for halo fields. All helpers take
+// zero-copy FieldViews (grid/field_view.hpp); Grids convert implicitly.
 #pragma once
 
 #include <algorithm>
@@ -10,20 +11,20 @@
 namespace sf {
 
 /// Fills interior + halo with reproducible pseudo-random values in [-1, 1].
-inline void fill_random(Grid1D& g, std::uint64_t seed) {
+inline void fill_random(const FieldView1D& g, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> d(-1.0, 1.0);
   for (int i = -g.halo(); i < g.n() + g.halo(); ++i) g.at(i) = d(rng);
 }
 
-inline void fill_random(Grid2D& g, std::uint64_t seed) {
+inline void fill_random(const FieldView2D& g, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> d(-1.0, 1.0);
   for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
     for (int x = -g.halo(); x < g.nx() + g.halo(); ++x) g.at(y, x) = d(rng);
 }
 
-inline void fill_random(Grid3D& g, std::uint64_t seed) {
+inline void fill_random(const FieldView3D& g, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> d(-1.0, 1.0);
   for (int z = -g.halo(); z < g.nz() + g.halo(); ++z)
@@ -33,17 +34,17 @@ inline void fill_random(Grid3D& g, std::uint64_t seed) {
 }
 
 /// Copies interior and halo.
-inline void copy(const Grid1D& src, Grid1D& dst) {
+inline void copy(const FieldView1D& src, const FieldView1D& dst) {
   for (int i = -src.halo(); i < src.n() + src.halo(); ++i) dst.at(i) = src.at(i);
 }
 
-inline void copy(const Grid2D& src, Grid2D& dst) {
+inline void copy(const FieldView2D& src, const FieldView2D& dst) {
   for (int y = -src.halo(); y < src.ny() + src.halo(); ++y)
     for (int x = -src.halo(); x < src.nx() + src.halo(); ++x)
       dst.at(y, x) = src.at(y, x);
 }
 
-inline void copy(const Grid3D& src, Grid3D& dst) {
+inline void copy(const FieldView3D& src, const FieldView3D& dst) {
   for (int z = -src.halo(); z < src.nz() + src.halo(); ++z)
     for (int y = -src.halo(); y < src.ny() + src.halo(); ++y)
       for (int x = -src.halo(); x < src.nx() + src.halo(); ++x)
@@ -51,13 +52,13 @@ inline void copy(const Grid3D& src, Grid3D& dst) {
 }
 
 /// Max |a-b| over the interior.
-inline double max_abs_diff(const Grid1D& a, const Grid1D& b) {
+inline double max_abs_diff(const FieldView1D& a, const FieldView1D& b) {
   double m = 0;
   for (int i = 0; i < a.n(); ++i) m = std::max(m, std::fabs(a.at(i) - b.at(i)));
   return m;
 }
 
-inline double max_abs_diff(const Grid2D& a, const Grid2D& b) {
+inline double max_abs_diff(const FieldView2D& a, const FieldView2D& b) {
   double m = 0;
   for (int y = 0; y < a.ny(); ++y)
     for (int x = 0; x < a.nx(); ++x)
@@ -65,7 +66,7 @@ inline double max_abs_diff(const Grid2D& a, const Grid2D& b) {
   return m;
 }
 
-inline double max_abs_diff(const Grid3D& a, const Grid3D& b) {
+inline double max_abs_diff(const FieldView3D& a, const FieldView3D& b) {
   double m = 0;
   for (int z = 0; z < a.nz(); ++z)
     for (int y = 0; y < a.ny(); ++y)
@@ -75,20 +76,20 @@ inline double max_abs_diff(const Grid3D& a, const Grid3D& b) {
 }
 
 /// Max |v| over the interior (for relative tolerances).
-inline double max_abs(const Grid1D& a) {
+inline double max_abs(const FieldView1D& a) {
   double m = 0;
   for (int i = 0; i < a.n(); ++i) m = std::max(m, std::fabs(a.at(i)));
   return m;
 }
 
-inline double max_abs(const Grid2D& a) {
+inline double max_abs(const FieldView2D& a) {
   double m = 0;
   for (int y = 0; y < a.ny(); ++y)
     for (int x = 0; x < a.nx(); ++x) m = std::max(m, std::fabs(a.at(y, x)));
   return m;
 }
 
-inline double max_abs(const Grid3D& a) {
+inline double max_abs(const FieldView3D& a) {
   double m = 0;
   for (int z = 0; z < a.nz(); ++z)
     for (int y = 0; y < a.ny(); ++y)

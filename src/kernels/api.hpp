@@ -1,9 +1,14 @@
 // Kernel method identifiers and executor signatures.
 //
 // Every kernel advances a Jacobi problem `tsteps` steps and leaves the final
-// state in grid `a` (grid `b` is scratch of identical shape/halo). Halos are
-// Dirichlet and never written. All kernels accept the stencil pattern at
+// state in field `a` (field `b` is scratch of identical shape/halo). Halos
+// are Dirichlet and never written. All kernels accept the stencil pattern at
 // runtime, so the same code serves every Table-1 benchmark.
+//
+// Executors take zero-copy FieldViews (grid/field_view.hpp) over
+// caller-owned memory; Grids convert implicitly. Views must be in
+// Layout::Natural order — kernels apply and undo the paper's layouts
+// internally.
 //
 // Kernel lookup lives in kernels/registry.hpp: executors self-register with
 // capability metadata (dims, ISA, halo, fold depth) and are found by method
@@ -34,10 +39,13 @@ const char* method_name(Method m);
 
 /// 1-D kernels optionally take a time-invariant source: step = p(A)+src(K)
 /// (the APOP benchmark; src/k are null for the other stencils).
-using Run1D = void (*)(const Pattern1D& p, Grid1D& a, Grid1D& b,
-                       const Pattern1D* src, const Grid1D* k, int tsteps);
-using Run2D = void (*)(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
-using Run3D = void (*)(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+using Run1D = void (*)(const Pattern1D& p, const FieldView1D& a,
+                       const FieldView1D& b, const Pattern1D* src,
+                       const FieldView1D* k, int tsteps);
+using Run2D = void (*)(const Pattern2D& p, const FieldView2D& a,
+                       const FieldView2D& b, int tsteps);
+using Run3D = void (*)(const Pattern3D& p, const FieldView3D& a,
+                       const FieldView3D& b, int tsteps);
 
 /// Deprecated: registry shims. Use find_kernel() from kernels/registry.hpp.
 /// Throws std::invalid_argument for combinations that do not exist.

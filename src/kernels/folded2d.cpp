@@ -44,7 +44,7 @@ inline int floor_div_w(int c, int w) { return c >= 0 ? c / w : -((-c - 1) / w) -
 /// t+1 is computed into a private buffer over f2's r-expansion (clipped to
 /// the domain), then t+2 over f2. Neighbours outside the domain read the
 /// time-invariant halo of `in`.
-void ring_fix_rect_2d(const Pattern2D& p, const Grid2D& in, Grid2D& out,
+void ring_fix_rect_2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out,
                       const Rect& f2, int ny, int nx) {
   const int r = p.radius();
   const Rect f1{std::max(f2.y0 - r, 0), std::min(f2.y1 + r, ny),
@@ -75,7 +75,7 @@ void ring_fix_rect_2d(const Pattern2D& p, const Grid2D& in, Grid2D& out,
 
 template <int W>
 void folded2d_advance(const Pattern2D& p, const FoldingPlan& plan,
-                      const Pattern2D& lambda, const Grid2D& in, Grid2D& out,
+                      const Pattern2D& lambda, const FieldView2D& in, const FieldView2D& out,
                       bool reuse, int ry0, int ry1) {
   const int ny = in.ny(), nx = in.nx();
   const int r = p.radius();
@@ -219,7 +219,7 @@ void folded2d_advance(const Pattern2D& p, const FoldingPlan& plan,
 namespace {
 
 template <int W>
-void run_ours2_2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void run_ours2_2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                        bool reuse) {
   const int ny = a.ny(), nx = a.nx();
   const FoldingPlan plan = plan_folding(p, 2);
@@ -230,8 +230,8 @@ void run_ours2_2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
   }
   const Pattern2D lambda = power(p, 2);
 
-  Grid2D* cur = &a;
-  Grid2D* nxt = &b;
+  const FieldView2D* cur = &a;
+  const FieldView2D* nxt = &b;
   int t = 0;
   for (; t + 2 <= tsteps; t += 2) {
     folded2d_advance<W>(p, plan, lambda, *cur, *nxt, reuse, 0, ny);
@@ -247,29 +247,29 @@ void run_ours2_2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
 }  // namespace
 
 template <int W>
-void run_ours2_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_ours2_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   run_ours2_2d_impl<W>(p, a, b, tsteps, /*reuse=*/true);
 }
 
 template <int W>
-void run_ours2_2d_noreuse(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_ours2_2d_noreuse(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   run_ours2_2d_impl<W>(p, a, b, tsteps, /*reuse=*/false);
 }
 
-template void run_ours2_2d<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours2_2d<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours2_2d<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours2_2d_noreuse<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours2_2d_noreuse<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours2_2d_noreuse<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
+template void run_ours2_2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours2_2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours2_2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours2_2d_noreuse<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours2_2d_noreuse<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours2_2d_noreuse<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
 template void folded2d_advance<1>(const Pattern2D&, const FoldingPlan&,
-                                  const Pattern2D&, const Grid2D&, Grid2D&,
+                                  const Pattern2D&, const FieldView2D&, const FieldView2D&,
                                   bool, int, int);
 template void folded2d_advance<4>(const Pattern2D&, const FoldingPlan&,
-                                  const Pattern2D&, const Grid2D&, Grid2D&,
+                                  const Pattern2D&, const FieldView2D&, const FieldView2D&,
                                   bool, int, int);
 template void folded2d_advance<8>(const Pattern2D&, const FoldingPlan&,
-                                  const Pattern2D&, const Grid2D&, Grid2D&,
+                                  const Pattern2D&, const FieldView2D&, const FieldView2D&,
                                   bool, int, int);
 
 }  // namespace sf::detail

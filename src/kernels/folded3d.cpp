@@ -32,7 +32,7 @@ constexpr int kMaxR3 = 2;  // folded radius cap (m = 2, r = 1 in 3-D presets)
 
 /// Exact 2-step update of box `f2` (touching the domain shell): t+1 into a
 /// private buffer over f2's r-expansion, then t+2 over f2.
-void ring_fix_box_3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void ring_fix_box_3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                      const Box& f2, int nz, int ny, int nx) {
   const int r = p.radius();
   const Box f1{std::max(f2.z0 - r, 0), std::min(f2.z1 + r, nz),
@@ -71,7 +71,7 @@ void ring_fix_box_3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 
 template <int W>
 void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
-                      const Pattern3D& lambda, const Grid3D& in, Grid3D& out,
+                      const Pattern3D& lambda, const FieldView3D& in, const FieldView3D& out,
                       std::vector<AlignedBuffer>& window, int rz0, int rz1) {
   const int nz = in.nz(), ny = in.ny(), nx = in.nx();
   const int r = p.radius();
@@ -213,17 +213,17 @@ void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
 }
 
 template void folded3d_advance<1>(const Pattern3D&, const FoldingPlan&,
-                                  const Pattern3D&, const Grid3D&, Grid3D&,
+                                  const Pattern3D&, const FieldView3D&, const FieldView3D&,
                                   std::vector<AlignedBuffer>&, int, int);
 template void folded3d_advance<4>(const Pattern3D&, const FoldingPlan&,
-                                  const Pattern3D&, const Grid3D&, Grid3D&,
+                                  const Pattern3D&, const FieldView3D&, const FieldView3D&,
                                   std::vector<AlignedBuffer>&, int, int);
 template void folded3d_advance<8>(const Pattern3D&, const FoldingPlan&,
-                                  const Pattern3D&, const Grid3D&, Grid3D&,
+                                  const Pattern3D&, const FieldView3D&, const FieldView3D&,
                                   std::vector<AlignedBuffer>&, int, int);
 
 template <int W>
-void run_ours2_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
+void run_ours2_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
   const int nz = a.nz(), ny = a.ny(), nx = a.nx();
   const FoldingPlan plan = plan_folding(p, 2);
   if (plan.radius > std::min(W, kMaxR3)) {
@@ -233,8 +233,8 @@ void run_ours2_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   const Pattern3D lambda = power(p, 2);
   std::vector<AlignedBuffer> window;
 
-  Grid3D* cur = &a;
-  Grid3D* nxt = &b;
+  const FieldView3D* cur = &a;
+  const FieldView3D* nxt = &b;
   int t = 0;
   for (; t + 2 <= tsteps; t += 2) {
     folded3d_advance<W>(p, plan, lambda, *cur, *nxt, window, 0, nz);
@@ -247,9 +247,9 @@ void run_ours2_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   if (cur != &a) copy_interior(*cur, a);
 }
 
-template void run_ours2_3d<1>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ours2_3d<4>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ours2_3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
+template void run_ours2_3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ours2_3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ours2_3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
 
 }  // namespace sf::detail
 

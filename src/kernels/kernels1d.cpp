@@ -56,8 +56,8 @@ double scalar_apply(const Pattern1D& p, const double* in, int i) {
 // ---------------------------------------------------------------------------
 // Naive
 // ---------------------------------------------------------------------------
-void run_naive1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-                 const Grid1D* k, int tsteps) {
+void run_naive1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+                 const FieldView1D* k, int tsteps) {
   run_reference(p, a, b, tsteps, src, k);
 }
 
@@ -65,15 +65,15 @@ void run_naive1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
 // Multiple loads
 // ---------------------------------------------------------------------------
 template <int W>
-void run_ml1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-              const Grid1D* k, int tsteps) {
+void run_ml1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+              const FieldView1D* k, int tsteps) {
   const int n = a.n();
   VTaps1<W> taps(p);
   VTaps1<W> staps(src != nullptr ? *src : Pattern1D{});
   const double* kk = k != nullptr ? k->data() : nullptr;
 
-  Grid1D* cur = &a;
-  Grid1D* nxt = &b;
+  const FieldView1D* cur = &a;
+  const FieldView1D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     const double* in = cur->data();
     double* out = nxt->data();
@@ -100,8 +100,8 @@ void run_ml1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
 // Data reorganization
 // ---------------------------------------------------------------------------
 template <int W>
-void run_dr1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-              const Grid1D* k, int tsteps) {
+void run_dr1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+              const FieldView1D* k, int tsteps) {
   const int n = a.n();
   if (p.radius() > W || (src != nullptr && src->radius() > W)) {
     run_naive1d(p, a, b, src, k, tsteps);  // shifts cannot reach that far
@@ -111,8 +111,8 @@ void run_dr1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
   VTaps1<W> staps(src != nullptr ? *src : Pattern1D{});
   const double* kk = k != nullptr ? k->data() : nullptr;
 
-  Grid1D* cur = &a;
-  Grid1D* nxt = &b;
+  const FieldView1D* cur = &a;
+  const FieldView1D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     const double* in = cur->data();
     double* out = nxt->data();
@@ -147,8 +147,8 @@ void run_dr1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
 // DLT
 // ---------------------------------------------------------------------------
 template <int W>
-void run_dlt1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-               const Grid1D* k, int tsteps) {
+void run_dlt1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+               const FieldView1D* k, int tsteps) {
   const int n = a.n();
   const int L = n / W;
   const int n0 = L * W;
@@ -171,8 +171,8 @@ void run_dlt1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
   const double* kk = k != nullptr ? kd.data() : nullptr;
 
   const int seam = std::max(r, sr);
-  Grid1D* cur = &a;
-  Grid1D* nxt = &b;
+  const FieldView1D* cur = &a;
+  const FieldView1D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     const double* in = cur->data();
     double* out = nxt->data();
@@ -249,8 +249,8 @@ void tl_step_1d(const VTaps1<W>& taps, const Pattern1D& p, const VTaps1<W>& stap
 }
 
 template <int W>
-void run_ours1_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-                  const Grid1D* k, int tsteps) {
+void run_ours1_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+                  const FieldView1D* k, int tsteps) {
   const int n = a.n();
   if (p.radius() > W || (src != nullptr && src->radius() > W)) {
     run_naive1d(p, a, b, src, k, tsteps);  // edge assembly covers one block
@@ -267,8 +267,8 @@ void run_ours1_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
   }
   const double* kk = k != nullptr ? kd.data() : nullptr;
 
-  Grid1D* cur = &a;
-  Grid1D* nxt = &b;
+  const FieldView1D* cur = &a;
+  const FieldView1D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     tl_step_1d<W>(taps, p, staps, src, kk, n, cur->data(), nxt->data());
     std::swap(cur, nxt);
@@ -281,8 +281,8 @@ void run_ours1_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
 // Ours2: transpose layout + temporal folding, m = 2
 // ---------------------------------------------------------------------------
 template <int W>
-void run_ours2_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-                  const Grid1D* k, int tsteps) {
+void run_ours2_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+                  const FieldView1D* k, int tsteps) {
   const int n = a.n();
   const int r = p.radius();
   const Pattern1D lam = power(p, 2);
@@ -313,8 +313,8 @@ void run_ours2_1d(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
   for (std::size_t s = 0; s < f1segs.size(); ++s)
     t1[s].resize(static_cast<std::size_t>(f1segs[s].b - f1segs[s].a));
 
-  Grid1D* cur = &a;
-  Grid1D* nxt = &b;
+  const FieldView1D* cur = &a;
+  const FieldView1D* nxt = &b;
   int t = 0;
   for (; t + 2 <= tsteps; t += 2) {
     // Folded vector pass (values inside the ring are provisional).

@@ -43,7 +43,7 @@ std::vector<RowTaps> by_row(const Pattern2D& p) {
   return rows;
 }
 
-double scalar_apply2(const Pattern2D& p, const Grid2D& g, int y, int x) {
+double scalar_apply2(const Pattern2D& p, const FieldView2D& g, int y, int x) {
   double acc = 0;
   for (const auto& t : p.taps) acc += t.w * g.row(y + t.off[0])[x + t.off[1]];
   return acc;
@@ -51,7 +51,7 @@ double scalar_apply2(const Pattern2D& p, const Grid2D& g, int y, int x) {
 
 }  // namespace
 
-void run_naive2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_naive2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   run_reference(p, a, b, tsteps);
 }
 
@@ -59,7 +59,7 @@ void run_naive2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
 // Multiple loads
 // ---------------------------------------------------------------------------
 template <int W>
-void step_region_ml2d(const Pattern2D& p, const Grid2D& in, Grid2D& out,
+void step_region_ml2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out,
                       int y0, int y1, int x0, int x1) {
   const int nt = static_cast<int>(p.taps.size());
   std::vector<V<W>> w(static_cast<std::size_t>(nt));
@@ -82,9 +82,9 @@ void step_region_ml2d(const Pattern2D& p, const Grid2D& in, Grid2D& out,
 }
 
 template <int W>
-void run_ml2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
-  Grid2D* cur = &a;
-  Grid2D* nxt = &b;
+void run_ml2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
+  const FieldView2D* cur = &a;
+  const FieldView2D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_region_ml2d<W>(p, *cur, *nxt, 0, cur->ny(), 0, cur->nx());
     std::swap(cur, nxt);
@@ -96,7 +96,7 @@ void run_ml2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
 // Data reorganization
 // ---------------------------------------------------------------------------
 template <int W>
-void run_dr2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_dr2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   if (p.radius() > W) {
     run_naive2d(p, a, b, tsteps);
     return;
@@ -104,8 +104,8 @@ void run_dr2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
   const auto rows = by_row(p);
   const int nx = a.nx(), ny = a.ny();
 
-  Grid2D* cur = &a;
-  Grid2D* nxt = &b;
+  const FieldView2D* cur = &a;
+  const FieldView2D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     for (int y = 0; y < ny; ++y) {
       double* o = nxt->row(y);
@@ -135,7 +135,7 @@ void run_dr2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
 
 /// One DLT time step over rows [y0, y1); both grids must already be lifted.
 template <int W>
-void step_rows_dlt2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
+void step_rows_dlt2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out, int y0,
                      int y1) {
   const int nx = in.nx();
   const int L = nx / W;
@@ -176,7 +176,7 @@ void step_rows_dlt2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
 }
 
 template <int W>
-void run_dlt2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_dlt2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   const int nx = a.nx(), ny = a.ny();
   const int L = nx / W;
   const int n0 = L * W;
@@ -188,8 +188,8 @@ void run_dlt2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
   grid_to_dlt(a, W);
   grid_to_dlt(b, W);  // halo rows of the scratch grid are read too
 
-  Grid2D* cur = &a;
-  Grid2D* nxt = &b;
+  const FieldView2D* cur = &a;
+  const FieldView2D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_rows_dlt2d<W>(p, *cur, *nxt, 0, ny);
     std::swap(cur, nxt);
@@ -205,7 +205,7 @@ void run_dlt2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
 /// One transpose-layout time step over rows [y0, y1); both grids must
 /// already be in transpose layout. Radius must satisfy r <= min(W, 4).
 template <int W>
-void step_rows_tl2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
+void step_rows_tl2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out, int y0,
                     int y1) {
   constexpr int kMaxR = 4;
   const int r = p.radius();
@@ -243,7 +243,7 @@ void step_rows_tl2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
 }
 
 template <int W>
-void run_ours1_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
+void run_ours1_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   const int r = p.radius();
   const int ny = a.ny();
   if (r > 4 || r > W) {
@@ -253,8 +253,8 @@ void run_ours1_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
   grid_transpose_layout<W>(a);
   grid_transpose_layout<W>(b);  // halo rows of the scratch grid are read too
 
-  Grid2D* cur = &a;
-  Grid2D* nxt = &b;
+  const FieldView2D* cur = &a;
+  const FieldView2D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_rows_tl2d<W>(p, *cur, *nxt, 0, ny);
     std::swap(cur, nxt);
@@ -265,29 +265,29 @@ void run_ours1_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
 }
 
 // Explicit instantiations used by the registry and the tiling framework.
-template void run_ml2d<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ml2d<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ml2d<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dr2d<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dr2d<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dr2d<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dlt2d<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dlt2d<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_dlt2d<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours1_2d<1>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours1_2d<4>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void run_ours1_2d<8>(const Pattern2D&, Grid2D&, Grid2D&, int);
-template void step_rows_tl2d<1>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_rows_tl2d<4>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_rows_tl2d<8>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_rows_dlt2d<1>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_rows_dlt2d<4>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_rows_dlt2d<8>(const Pattern2D&, const Grid2D&, Grid2D&, int, int);
-template void step_region_ml2d<1>(const Pattern2D&, const Grid2D&, Grid2D&, int,
+template void run_ml2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ml2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ml2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dr2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dr2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dr2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dlt2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dlt2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_dlt2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours1_2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours1_2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void run_ours1_2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int);
+template void step_rows_tl2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_rows_tl2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_rows_tl2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_rows_dlt2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_rows_dlt2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_rows_dlt2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int, int);
+template void step_region_ml2d<1>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int,
                                   int, int, int);
-template void step_region_ml2d<4>(const Pattern2D&, const Grid2D&, Grid2D&, int,
+template void step_region_ml2d<4>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int,
                                   int, int, int);
-template void step_region_ml2d<8>(const Pattern2D&, const Grid2D&, Grid2D&, int,
+template void step_region_ml2d<8>(const Pattern2D&, const FieldView2D&, const FieldView2D&, int,
                                   int, int, int);
 
 }  // namespace sf::detail

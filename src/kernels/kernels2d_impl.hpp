@@ -9,39 +9,39 @@
 
 namespace sf::detail {
 
-void run_naive2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_naive2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 
 template <int W>
-void run_ml2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_ml2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 template <int W>
-void run_dr2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_dr2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 template <int W>
-void run_dlt2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_dlt2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 template <int W>
-void run_ours1_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_ours1_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 template <int W>
-void run_ours2_2d(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_ours2_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 
 /// Ours2 with the shifts-reuse ring buffer disabled (each vector set's
 /// counterparts recomputed from scratch) — the §3.4 ablation.
 template <int W>
-void run_ours2_2d_noreuse(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps);
+void run_ours2_2d_noreuse(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps);
 
 /// One multiple-loads time step over a rectangular region (used by the
 /// folded kernel's odd-step remainder and by the tiling framework).
 template <int W>
-void step_region_ml2d(const Pattern2D& p, const Grid2D& in, Grid2D& out,
+void step_region_ml2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out,
                       int y0, int y1, int x0, int x1);
 
 /// One transpose-layout step over rows [y0, y1); grids must be in transpose
 /// layout and r <= min(W, 4).
 template <int W>
-void step_rows_tl2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
+void step_rows_tl2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out, int y0,
                     int y1);
 
 /// One DLT step over rows [y0, y1); grids must be lifted and nx/W >= 2r+1.
 template <int W>
-void step_rows_dlt2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
+void step_rows_dlt2d(const Pattern2D& p, const FieldView2D& in, const FieldView2D& out, int y0,
                      int y1);
 
 /// One folded (m = 2) advance over rows [ry0, ry1), vectorized per the
@@ -55,7 +55,7 @@ void step_rows_dlt2d(const Pattern2D& p, const Grid2D& in, Grid2D& out, int y0,
 /// rows [ry0 - 2r, ry1 + 2r).
 template <int W>
 void folded2d_advance(const Pattern2D& p, const FoldingPlan& plan,
-                      const Pattern2D& lambda, const Grid2D& in, Grid2D& out,
+                      const Pattern2D& lambda, const FieldView2D& in, const FieldView2D& out,
                       bool reuse, int ry0, int ry1);
 
 }  // namespace sf::detail

@@ -44,7 +44,7 @@ std::vector<RowTaps3> by_row(const Pattern3D& p) {
   return rows;
 }
 
-double scalar_apply3(const Pattern3D& p, const Grid3D& g, int z, int y, int x) {
+double scalar_apply3(const Pattern3D& p, const FieldView3D& g, int z, int y, int x) {
   double acc = 0;
   for (const auto& t : p.taps)
     acc += t.w * g.row(z + t.off[0], y + t.off[1])[x + t.off[2]];
@@ -53,7 +53,7 @@ double scalar_apply3(const Pattern3D& p, const Grid3D& g, int z, int y, int x) {
 
 }  // namespace
 
-void run_naive3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
+void run_naive3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
   run_reference(p, a, b, tsteps);
 }
 
@@ -61,7 +61,7 @@ void run_naive3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
 // Multiple loads
 // ---------------------------------------------------------------------------
 template <int W>
-void step_region_ml3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_region_ml3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                       int z0, int z1, int y0, int y1, int x0, int x1) {
   const auto rows = by_row(p);
   for (int z = z0; z < z1; ++z)
@@ -82,9 +82,9 @@ void step_region_ml3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 }
 
 template <int W>
-void run_ml3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
-  Grid3D* cur = &a;
-  Grid3D* nxt = &b;
+void run_ml3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
+  const FieldView3D* cur = &a;
+  const FieldView3D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_region_ml3d<W>(p, *cur, *nxt, 0, cur->nz(), 0, cur->ny(), 0, cur->nx());
     std::swap(cur, nxt);
@@ -96,7 +96,7 @@ void run_ml3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
 // Data reorganization
 // ---------------------------------------------------------------------------
 template <int W>
-void run_dr3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
+void run_dr3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
   if (p.radius() > W) {
     run_naive3d(p, a, b, tsteps);
     return;
@@ -104,8 +104,8 @@ void run_dr3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   const auto rows = by_row(p);
   const int nz = a.nz(), ny = a.ny(), nx = a.nx();
 
-  Grid3D* cur = &a;
-  Grid3D* nxt = &b;
+  const FieldView3D* cur = &a;
+  const FieldView3D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     for (int z = 0; z < nz; ++z)
       for (int y = 0; y < ny; ++y) {
@@ -136,7 +136,7 @@ void run_dr3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
 
 /// One DLT step over planes [z0, z1); grids must be lifted, nx/W >= 2r+1.
 template <int W>
-void step_planes_dlt3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_planes_dlt3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                        int z0, int z1) {
   const int ny = in.ny(), nx = in.nx();
   const int L = nx / W;
@@ -175,7 +175,7 @@ void step_planes_dlt3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 }
 
 template <int W>
-void run_dlt3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
+void run_dlt3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
   const int nz = a.nz(), ny = a.ny(), nx = a.nx();
   const int L = nx / W;
   const int n0 = L * W;
@@ -187,8 +187,8 @@ void run_dlt3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   grid_to_dlt(a, W);
   grid_to_dlt(b, W);
 
-  Grid3D* cur = &a;
-  Grid3D* nxt = &b;
+  const FieldView3D* cur = &a;
+  const FieldView3D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_planes_dlt3d<W>(p, *cur, *nxt, 0, nz);
     std::swap(cur, nxt);
@@ -204,7 +204,7 @@ void run_dlt3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
 /// One transpose-layout step over planes [z0, z1); grids must be in
 /// transpose layout; r <= min(W, 2) and at most 32 (dz,dy) row groups.
 template <int W>
-void step_planes_tl3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_planes_tl3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                       int z0, int z1) {
   constexpr int kMaxRows = 32;
   constexpr int kMaxR = 2;
@@ -242,7 +242,7 @@ void step_planes_tl3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 }
 
 template <int W>
-void run_ours1_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
+void run_ours1_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
   const int r = p.radius();
   const auto rows = by_row(p);
   if (r > 2 || r > W || rows.size() > 32) {
@@ -252,8 +252,8 @@ void run_ours1_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   grid_transpose_layout<W>(a);
   grid_transpose_layout<W>(b);
 
-  Grid3D* cur = &a;
-  Grid3D* nxt = &b;
+  const FieldView3D* cur = &a;
+  const FieldView3D* nxt = &b;
   for (int t = 0; t < tsteps; ++t) {
     step_planes_tl3d<W>(p, *cur, *nxt, 0, a.nz());
     std::swap(cur, nxt);
@@ -263,29 +263,29 @@ void run_ours1_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
   grid_transpose_layout<W>(b);
 }
 
-template void run_ml3d<1>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ml3d<4>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ml3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dr3d<1>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dr3d<4>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dr3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dlt3d<1>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dlt3d<4>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_dlt3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ours1_3d<1>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ours1_3d<4>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void run_ours1_3d<8>(const Pattern3D&, Grid3D&, Grid3D&, int);
-template void step_planes_tl3d<1>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_planes_tl3d<4>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_planes_tl3d<8>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_planes_dlt3d<1>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_planes_dlt3d<4>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_planes_dlt3d<8>(const Pattern3D&, const Grid3D&, Grid3D&, int, int);
-template void step_region_ml3d<1>(const Pattern3D&, const Grid3D&, Grid3D&, int,
+template void run_ml3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ml3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ml3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dr3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dr3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dr3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dlt3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dlt3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_dlt3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ours1_3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ours1_3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void run_ours1_3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
+template void step_planes_tl3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_planes_tl3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_planes_tl3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_planes_dlt3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_planes_dlt3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_planes_dlt3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int, int);
+template void step_region_ml3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int,
                                   int, int, int, int, int);
-template void step_region_ml3d<4>(const Pattern3D&, const Grid3D&, Grid3D&, int,
+template void step_region_ml3d<4>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int,
                                   int, int, int, int, int);
-template void step_region_ml3d<8>(const Pattern3D&, const Grid3D&, Grid3D&, int,
+template void step_region_ml3d<8>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int,
                                   int, int, int, int, int);
 
 }  // namespace sf::detail

@@ -10,33 +10,33 @@
 
 namespace sf::detail {
 
-void run_naive3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_naive3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 
 template <int W>
-void run_ml3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_ml3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 template <int W>
-void run_dr3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_dr3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 template <int W>
-void run_dlt3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_dlt3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 template <int W>
-void run_ours1_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_ours1_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 template <int W>
-void run_ours2_3d(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps);
+void run_ours2_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps);
 
 /// One multiple-loads time step over a box region (folded remainder + tiling).
 template <int W>
-void step_region_ml3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_region_ml3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                       int z0, int z1, int y0, int y1, int x0, int x1);
 
 /// One transpose-layout step over planes [z0, z1); grids must be in
 /// transpose layout; r <= min(W, 2).
 template <int W>
-void step_planes_tl3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_planes_tl3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                       int z0, int z1);
 
 /// One DLT step over planes [z0, z1); grids must be lifted and nx/W >= 2r+1.
 template <int W>
-void step_planes_dlt3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
+void step_planes_dlt3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                        int z0, int z1);
 
 /// One folded (m = 2) advance over planes [rz0, rz1) (see folded2d_advance
@@ -44,7 +44,7 @@ void step_planes_dlt3d(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 /// per-plane counterpart columns and must be private to the calling thread.
 template <int W>
 void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
-                      const Pattern3D& lambda, const Grid3D& in, Grid3D& out,
+                      const Pattern3D& lambda, const FieldView3D& in, const FieldView3D& out,
                       std::vector<AlignedBuffer>& window, int rz0, int rz1);
 
 }  // namespace sf::detail

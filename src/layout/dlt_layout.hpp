@@ -34,11 +34,11 @@ void row_to_dlt(double* row, int n, int w, double* scratch);
 /// Inverse transform.
 void row_from_dlt(double* row, int n, int w, double* scratch);
 
-void grid_to_dlt(Grid1D& g, int w);
-void grid_from_dlt(Grid1D& g, int w);
-void grid_to_dlt(Grid2D& g, int w);
-void grid_from_dlt(Grid2D& g, int w);
-void grid_to_dlt(Grid3D& g, int w);
-void grid_from_dlt(Grid3D& g, int w);
+void grid_to_dlt(const FieldView1D& g, int w);
+void grid_from_dlt(const FieldView1D& g, int w);
+void grid_to_dlt(const FieldView2D& g, int w);
+void grid_from_dlt(const FieldView2D& g, int w);
+void grid_to_dlt(const FieldView3D& g, int w);
+void grid_from_dlt(const FieldView3D& g, int w);
 
 }  // namespace sf

@@ -6,7 +6,7 @@ namespace sf {
 
 namespace {
 template <class G>
-void dispatch(G& g, int w) {
+void dispatch(const G& g, int w) {
   switch (w) {
     case 1: break;
     case 4: grid_transpose_layout<4>(g); break;
@@ -16,8 +16,8 @@ void dispatch(G& g, int w) {
 }
 }  // namespace
 
-void apply_transpose_layout(Grid1D& g, int w) { dispatch(g, w); }
-void apply_transpose_layout(Grid2D& g, int w) { dispatch(g, w); }
-void apply_transpose_layout(Grid3D& g, int w) { dispatch(g, w); }
+void apply_transpose_layout(const FieldView1D& g, int w) { dispatch(g, w); }
+void apply_transpose_layout(const FieldView2D& g, int w) { dispatch(g, w); }
+void apply_transpose_layout(const FieldView3D& g, int w) { dispatch(g, w); }
 
 }  // namespace sf

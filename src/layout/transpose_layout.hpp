@@ -37,7 +37,7 @@ inline void row_transpose_layout(double* row, int n) {
 }
 
 template <int W>
-inline void grid_transpose_layout(Grid1D& g) {
+inline void grid_transpose_layout(const FieldView1D& g) {
   row_transpose_layout<W>(g.data(), g.n());
 }
 
@@ -46,21 +46,21 @@ inline void grid_transpose_layout(Grid1D& g) {
 /// a kernel can touch must be in the same layout. (Column halo stays in
 /// original order — tl_index maps it to itself.)
 template <int W>
-inline void grid_transpose_layout(Grid2D& g) {
+inline void grid_transpose_layout(const FieldView2D& g) {
   for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
     row_transpose_layout<W>(g.row(y), g.nx());
 }
 
 template <int W>
-inline void grid_transpose_layout(Grid3D& g) {
+inline void grid_transpose_layout(const FieldView3D& g) {
   for (int z = -g.halo(); z < g.nz() + g.halo(); ++z)
     for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
       row_transpose_layout<W>(g.row(z, y), g.nx());
 }
 
 /// Runtime-width dispatch (W in {1,4,8}); W = 1 is a no-op.
-void apply_transpose_layout(Grid1D& g, int w);
-void apply_transpose_layout(Grid2D& g, int w);
-void apply_transpose_layout(Grid3D& g, int w);
+void apply_transpose_layout(const FieldView1D& g, int w);
+void apply_transpose_layout(const FieldView2D& g, int w);
+void apply_transpose_layout(const FieldView3D& g, int w);
 
 }  // namespace sf

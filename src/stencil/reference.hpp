@@ -5,7 +5,12 @@
 // changes. Region-limited application is exposed because the folded
 // executors reuse it for their boundary-ring corrections and the tiling
 // framework for its per-tile updates.
+//
+// All entry points take zero-copy FieldViews (grid/field_view.hpp); Grids
+// convert implicitly.
 #pragma once
+
+#include <utility>
 
 #include "grid/grid.hpp"
 #include "stencil/pattern.hpp"
@@ -13,8 +18,8 @@
 namespace sf {
 
 /// out[i] = sum_taps w * in[i+off] for i in [x0, x1).
-inline void apply_pattern(const Pattern1D& p, const Grid1D& in, Grid1D& out,
-                          int x0, int x1) {
+inline void apply_pattern(const Pattern1D& p, const FieldView1D& in,
+                          const FieldView1D& out, int x0, int x1) {
   const double* a = in.data();
   double* b = out.data();
   for (int i = x0; i < x1; ++i) {
@@ -25,8 +30,9 @@ inline void apply_pattern(const Pattern1D& p, const Grid1D& in, Grid1D& out,
 }
 
 /// Rectangular region [y0,y1) x [x0,x1).
-inline void apply_pattern(const Pattern2D& p, const Grid2D& in, Grid2D& out,
-                          int y0, int y1, int x0, int x1) {
+inline void apply_pattern(const Pattern2D& p, const FieldView2D& in,
+                          const FieldView2D& out, int y0, int y1, int x0,
+                          int x1) {
   for (int y = y0; y < y1; ++y) {
     double* b = out.row(y);
     for (int x = x0; x < x1; ++x) {
@@ -38,8 +44,9 @@ inline void apply_pattern(const Pattern2D& p, const Grid2D& in, Grid2D& out,
 }
 
 /// Box region [z0,z1) x [y0,y1) x [x0,x1).
-inline void apply_pattern(const Pattern3D& p, const Grid3D& in, Grid3D& out,
-                          int z0, int z1, int y0, int y1, int x0, int x1) {
+inline void apply_pattern(const Pattern3D& p, const FieldView3D& in,
+                          const FieldView3D& out, int z0, int z1, int y0,
+                          int y1, int x0, int x1) {
   for (int z = z0; z < z1; ++z)
     for (int y = y0; y < y1; ++y) {
       double* b = out.row(z, y);
@@ -53,8 +60,8 @@ inline void apply_pattern(const Pattern3D& p, const Grid3D& in, Grid3D& out,
 }
 
 /// Adds a time-invariant source contribution: out[i] += sum src.w * k[i+off].
-inline void add_source(const Pattern1D& src, const Grid1D& k, Grid1D& out,
-                       int x0, int x1) {
+inline void add_source(const Pattern1D& src, const FieldView1D& k,
+                       const FieldView1D& out, int x0, int x1) {
   const double* ks = k.data();
   double* b = out.data();
   for (int i = x0; i < x1; ++i) {
@@ -66,16 +73,16 @@ inline void add_source(const Pattern1D& src, const Grid1D& k, Grid1D& out,
 
 /// Interior-only copies used when an odd number of swaps leaves the result
 /// in the scratch grid.
-inline void copy_interior(const Grid1D& src, Grid1D& dst) {
+inline void copy_interior(const FieldView1D& src, const FieldView1D& dst) {
   for (int i = 0; i < src.n(); ++i) dst.at(i) = src.at(i);
 }
 
-inline void copy_interior(const Grid2D& src, Grid2D& dst) {
+inline void copy_interior(const FieldView2D& src, const FieldView2D& dst) {
   for (int y = 0; y < src.ny(); ++y)
     for (int x = 0; x < src.nx(); ++x) dst.at(y, x) = src.at(y, x);
 }
 
-inline void copy_interior(const Grid3D& src, Grid3D& dst) {
+inline void copy_interior(const FieldView3D& src, const FieldView3D& dst) {
   for (int z = 0; z < src.nz(); ++z)
     for (int y = 0; y < src.ny(); ++y)
       for (int x = 0; x < src.nx(); ++x) dst.at(z, y, x) = src.at(z, y, x);
@@ -84,12 +91,12 @@ inline void copy_interior(const Grid3D& src, Grid3D& dst) {
 
 /// Runs `tsteps` naive Jacobi steps; on return `a` holds the final state
 /// (grids are swapped internally an even number of times if tsteps is even).
-/// Returns the number of grid swaps performed so callers can track buffers.
-inline void run_reference(const Pattern1D& p, Grid1D& a, Grid1D& b, int tsteps,
+inline void run_reference(const Pattern1D& p, const FieldView1D& a,
+                          const FieldView1D& b, int tsteps,
                           const Pattern1D* src = nullptr,
-                          const Grid1D* k = nullptr) {
-  Grid1D* in = &a;
-  Grid1D* out = &b;
+                          const FieldView1D* k = nullptr) {
+  const FieldView1D* in = &a;
+  const FieldView1D* out = &b;
   for (int t = 0; t < tsteps; ++t) {
     apply_pattern(p, *in, *out, 0, in->n());
     if (src != nullptr && k != nullptr) add_source(*src, *k, *out, 0, in->n());
@@ -98,9 +105,10 @@ inline void run_reference(const Pattern1D& p, Grid1D& a, Grid1D& b, int tsteps,
   if (in != &a) copy_interior(*in, a);
 }
 
-inline void run_reference(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) {
-  Grid2D* in = &a;
-  Grid2D* out = &b;
+inline void run_reference(const Pattern2D& p, const FieldView2D& a,
+                          const FieldView2D& b, int tsteps) {
+  const FieldView2D* in = &a;
+  const FieldView2D* out = &b;
   for (int t = 0; t < tsteps; ++t) {
     apply_pattern(p, *in, *out, 0, in->ny(), 0, in->nx());
     std::swap(in, out);
@@ -108,9 +116,10 @@ inline void run_reference(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps) 
   if (in != &a) copy_interior(*in, a);
 }
 
-inline void run_reference(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps) {
-  Grid3D* in = &a;
-  Grid3D* out = &b;
+inline void run_reference(const Pattern3D& p, const FieldView3D& a,
+                          const FieldView3D& b, int tsteps) {
+  const FieldView3D* in = &a;
+  const FieldView3D* out = &b;
   for (int t = 0; t < tsteps; ++t) {
     apply_pattern(p, *in, *out, 0, in->nz(), 0, in->ny(), 0, in->nx());
     std::swap(in, out);

@@ -185,8 +185,8 @@ void tl_folded_region_step_1d(const Pattern1D& p, const Pattern1D& lam,
 }
 
 template <int W>
-void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-                  const Grid1D* k, int tsteps, const TiledOptions& opt) {
+void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+                  const FieldView1D* k, int tsteps, const TiledOptions& opt) {
   const int n = a.n();
   const int r = p.radius();
   const Method mth = opt.method;
@@ -216,7 +216,7 @@ void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
   WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m,
                           sizeof(double));
 
-  auto adv = [&](const Grid1D& in, Grid1D& out, int lo, int hi) {
+  auto adv = [&](const FieldView1D& in, const FieldView1D& out, int lo, int hi) {
     switch (mth) {
       case Method::Ours:
         tl_region_step_1d<W>(p, src, kk, n, in.data(), out.data(), lo, hi);
@@ -240,14 +240,14 @@ void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
     cursor = wedge_schedule(a, b, w, super, adv);
   } else {
     // Domain too small to tile: plain full sweeps.
-    Grid1D* bufs[2] = {&a, &b};
+    const FieldView1D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
       adv(*bufs[cursor], *bufs[cursor ^ 1], 0, n_tiled);
       cursor ^= 1;
     }
   }
   // Remainder single steps (folded runs only).
-  Grid1D* bufs[2] = {&a, &b};
+  const FieldView1D* bufs[2] = {&a, &b};
   for (int t = 0; t < rem; ++t) {
     tl_region_step_1d<W>(p, src, kk, n, bufs[cursor]->data(),
                          bufs[cursor ^ 1]->data(), 0, n);
@@ -262,7 +262,7 @@ void tiled1d_impl(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src
 // 2-D (tiled dimension: y, rows [lo, hi))
 // ---------------------------------------------------------------------------
 template <int W>
-void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                   const TiledOptions& opt) {
   const int ny = a.ny(), nx = a.nx();
   const int r = p.radius();
@@ -287,7 +287,7 @@ void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
   WedgePlan w = make_plan(ny, m * r, super, opt, m,
                           sizeof(double) * static_cast<long>(nx));
 
-  auto adv = [&](const Grid2D& in, Grid2D& out, int lo, int hi) {
+  auto adv = [&](const FieldView2D& in, const FieldView2D& out, int lo, int hi) {
     switch (mth) {
       case Method::Ours:
         step_rows_tl2d<W>(p, in, out, lo, hi);
@@ -308,13 +308,13 @@ void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
   if (w.blocked) {
     cursor = wedge_schedule(a, b, w, super, adv);
   } else {
-    Grid2D* bufs[2] = {&a, &b};
+    const FieldView2D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
       adv(*bufs[cursor], *bufs[cursor ^ 1], 0, ny);
       cursor ^= 1;
     }
   }
-  Grid2D* bufs[2] = {&a, &b};
+  const FieldView2D* bufs[2] = {&a, &b};
   for (int t = 0; t < rem; ++t) {
     step_region_ml2d<W>(p, *bufs[cursor], *bufs[cursor ^ 1], 0, ny, 0, nx);
     cursor ^= 1;
@@ -334,7 +334,7 @@ void tiled2d_impl(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
 // 3-D (tiled dimension: z, planes [lo, hi))
 // ---------------------------------------------------------------------------
 template <int W>
-void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                   const TiledOptions& opt) {
   const int nz = a.nz(), ny = a.ny(), nx = a.nx();
   const int r = p.radius();
@@ -360,7 +360,7 @@ void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
       nz, m * r, super, opt, m,
       sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
 
-  auto adv = [&](const Grid3D& in, Grid3D& out, int lo, int hi) {
+  auto adv = [&](const FieldView3D& in, const FieldView3D& out, int lo, int hi) {
     switch (mth) {
       case Method::Ours:
         step_planes_tl3d<W>(p, in, out, lo, hi);
@@ -383,13 +383,13 @@ void tiled3d_impl(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
   if (w.blocked) {
     cursor = wedge_schedule(a, b, w, super, adv);
   } else {
-    Grid3D* bufs[2] = {&a, &b};
+    const FieldView3D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
       adv(*bufs[cursor], *bufs[cursor ^ 1], 0, nz);
       cursor ^= 1;
     }
   }
-  Grid3D* bufs[2] = {&a, &b};
+  const FieldView3D* bufs[2] = {&a, &b};
   for (int t = 0; t < rem; ++t) {
     step_region_ml3d<W>(p, *bufs[cursor], *bufs[cursor ^ 1], 0, nz, 0, ny, 0, nx);
     cursor ^= 1;
@@ -455,8 +455,8 @@ bool tiled_path_engages(const KernelInfo& k, int radius, int src_radius,
   return true;
 }
 
-void run_tile_plan(const Pattern1D& p, Grid1D& a, Grid1D& b,
-                   const Pattern1D* src, const Grid1D* k, int tsteps,
+void run_tile_plan(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b,
+                   const Pattern1D* src, const FieldView1D* k, int tsteps,
                    const TilePlan& plan) {
   const KernelInfo* info = find_kernel(plan.method, 1, plan.isa);
   const int sr = src != nullptr ? src->radius() : 0;
@@ -475,7 +475,7 @@ void run_tile_plan(const Pattern1D& p, Grid1D& a, Grid1D& b,
   }
 }
 
-void run_tile_plan(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void run_tile_plan(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                    const TilePlan& plan) {
   const KernelInfo* info = find_kernel(plan.method, 2, plan.isa);
   if (info == nullptr || !tiled_path_engages(*info, p.radius(), 0, a.nx())) {
@@ -489,7 +489,7 @@ void run_tile_plan(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
   }
 }
 
-void run_tile_plan(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+void run_tile_plan(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                    const TilePlan& plan) {
   const KernelInfo* info = find_kernel(plan.method, 3, plan.isa);
   if (info == nullptr || !tiled_path_engages(*info, p.radius(), 0, a.nx())) {
@@ -505,17 +505,17 @@ void run_tile_plan(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
 
 // Deprecated shims: one release of grace for the pre-ExecutionPlan API.
 
-void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-               const Grid1D* k, int tsteps, const TiledOptions& opt) {
+void run_tiled(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+               const FieldView1D* k, int tsteps, const TiledOptions& opt) {
   run_tile_plan(p, a, b, src, k, tsteps, opt);
 }
 
-void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void run_tiled(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                const TiledOptions& opt) {
   run_tile_plan(p, a, b, tsteps, opt);
 }
 
-void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+void run_tiled(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                const TiledOptions& opt) {
   run_tile_plan(p, a, b, tsteps, opt);
 }

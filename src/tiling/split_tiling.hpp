@@ -106,26 +106,26 @@ bool tiled_path_engages(const KernelInfo& k, int radius, int src_radius,
 /// shapes without an engaging tiled stage (see tiled_path_engages) fall
 /// back to the untiled kernel. The 1-D form optionally takes the APOP
 /// source pattern `src` over the time-invariant array `k`.
-void run_tile_plan(const Pattern1D& p, Grid1D& a, Grid1D& b,
-                   const Pattern1D* src, const Grid1D* k, int tsteps,
+void run_tile_plan(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b,
+                   const Pattern1D* src, const FieldView1D* k, int tsteps,
                    const TilePlan& plan);
 /// 2-D overload of run_tile_plan(); tiles along y.
-void run_tile_plan(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void run_tile_plan(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                    const TilePlan& plan);
 /// 3-D overload of run_tile_plan(); tiles along z.
-void run_tile_plan(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+void run_tile_plan(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                    const TilePlan& plan);
 
 /// \deprecated Shim over run_tile_plan(), kept for one release. New code
 /// runs tiled through `Solver::tiling()` (Solver-owned grids) or
 /// run_tile_plan() (caller-owned grids).
-void run_tiled(const Pattern1D& p, Grid1D& a, Grid1D& b, const Pattern1D* src,
-               const Grid1D* k, int tsteps, const TiledOptions& opt);
+void run_tiled(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
+               const FieldView1D* k, int tsteps, const TiledOptions& opt);
 /// \deprecated 2-D shim over run_tile_plan(), kept for one release.
-void run_tiled(const Pattern2D& p, Grid2D& a, Grid2D& b, int tsteps,
+void run_tiled(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
                const TiledOptions& opt);
 /// \deprecated 3-D shim over run_tile_plan(), kept for one release.
-void run_tiled(const Pattern3D& p, Grid3D& a, Grid3D& b, int tsteps,
+void run_tiled(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                const TiledOptions& opt);
 
 /// The per-element update levels after one up-stage (triangles) and one

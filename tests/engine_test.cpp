@@ -1,0 +1,369 @@
+// Tests for the prepared-execution layer (core/engine.hpp): prepare-once /
+// run-many result stability against the Solver facade, zero-copy execution
+// on caller-owned buffers, concurrent runs, FieldView validation, the
+// Engine's plan cache, and the tuner's shape-bucket widening.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/solver.hpp"
+#include "core/tuner.hpp"
+#include "grid/grid_utils.hpp"
+#include "stencil/reference.hpp"
+
+namespace sf {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;  // the Solver's default seed
+
+// Runs `s` (which resolves sizes/steps), then executes the equivalent
+// PreparedStencil on caller-owned grids with identical initial conditions
+// and returns the max |diff| against the Solver's result grid. Exercises
+// every dimensionality through one code path.
+double prepared_vs_solver(Solver s, Tiling tiling) {
+  s.tiling(tiling);
+  s.run();
+
+  ExecOptions opts;
+  opts.tiling = tiling;
+  opts.tsteps = s.tsteps();
+  PreparedStencil ps = Engine::instance().prepare(
+      s.spec(), Extents{s.nx(), s.ny(), s.nz()}, opts);
+  EXPECT_EQ(ps.halo(), s.halo());
+  EXPECT_EQ(&ps.kernel(), &s.kernel());
+
+  const Workspace& ws = s.workspace();
+  const int h = ps.halo();
+  double diff = 0;
+  if (s.spec().dims == 1) {
+    Grid1D a(static_cast<int>(s.nx()), h), b(static_cast<int>(s.nx()), h);
+    fill_random(a, kSeed);
+    copy(a, b);
+    if (s.spec().has_source) {
+      Grid1D k(static_cast<int>(s.nx()), h);
+      fill_random(k, kSeed + 1);  // the Solver's source-array seed
+      ps.run(a.view(), b.view(), k.view(), s.tsteps());
+    } else {
+      ps.run(a.view(), b.view(), s.tsteps());
+    }
+    diff = max_abs_diff(a, *ws.a1);
+  } else if (s.spec().dims == 2) {
+    Grid2D a(static_cast<int>(s.ny()), static_cast<int>(s.nx()), h);
+    Grid2D b(static_cast<int>(s.ny()), static_cast<int>(s.nx()), h);
+    fill_random(a, kSeed);
+    copy(a, b);
+    ps.run(a.view(), b.view(), s.tsteps());
+    diff = max_abs_diff(a, *ws.a2);
+  } else {
+    Grid3D a(static_cast<int>(s.nz()), static_cast<int>(s.ny()),
+             static_cast<int>(s.nx()), h);
+    Grid3D b(static_cast<int>(s.nz()), static_cast<int>(s.ny()),
+             static_cast<int>(s.nx()), h);
+    fill_random(a, kSeed);
+    copy(a, b);
+    ps.run(a.view(), b.view(), s.tsteps());
+    diff = max_abs_diff(a, *ws.a3);
+  }
+  return diff;
+}
+
+// ---------------------------------------------------------------------------
+// Prepare-once / run-many equivalence with the Solver, all nine presets,
+// tiled and untiled. Bitwise identity: both paths negotiate the same plan
+// and execute the same kernel code on identically-seeded buffers.
+// ---------------------------------------------------------------------------
+
+class EngineVsSolver : public ::testing::TestWithParam<Preset> {};
+
+TEST_P(EngineVsSolver, BitwiseIdenticalUntiled) {
+  EXPECT_EQ(prepared_vs_solver(Solver::make(GetParam()), Tiling::Off), 0.0);
+}
+
+TEST_P(EngineVsSolver, BitwiseIdenticalTiled) {
+  EXPECT_EQ(prepared_vs_solver(Solver::make(GetParam()), Tiling::On), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, EngineVsSolver,
+    ::testing::Values(Preset::Heat1D, Preset::P1D5, Preset::Apop,
+                      Preset::Heat2D, Preset::Box2D9, Preset::Life,
+                      Preset::GB, Preset::Heat3D, Preset::Box3D27));
+
+// ---------------------------------------------------------------------------
+// Run-many stability and zero-copy semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, RunManyIsStableAndZeroCopy) {
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{96, 80}, {});
+  const int h = ps.halo();
+  Grid2D a(80, 96, h), b(80, 96, h), first(80, 96, h);
+
+  double* const caller_memory = a.data();
+  for (int rep = 0; rep < 3; ++rep) {
+    fill_random(a, 7);
+    copy(a, b);
+    ps.run(a.view(), b.view(), 8);
+    // Results land in the caller's buffer, not a library-internal copy.
+    EXPECT_EQ(a.data(), caller_memory);
+    if (rep == 0)
+      copy(a, first);
+    else
+      EXPECT_EQ(max_abs_diff(a, first), 0.0) << "rep " << rep;
+  }
+}
+
+TEST(Engine, ScratchInteriorIsNeverRead) {
+  // The zero-copy contract: run() syncs b's *halo* from a, and no kernel
+  // reads a b-interior cell it has not itself written — so poisoning b's
+  // interior must not change the result.
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 64}, {});
+  const int h = ps.halo();
+  Grid2D a(64, 64, h), b(64, 64, h), ra(64, 64, h), rb(64, 64, h);
+  fill_random(a, 3);
+  copy(a, ra);
+  copy(a, rb);
+  copy(a, b);
+  for (int y = 0; y < b.ny(); ++y)
+    for (int x = 0; x < b.nx(); ++x)
+      b.at(y, x) = std::numeric_limits<double>::quiet_NaN();
+  ps.run(a.view(), b.view(), 6);
+  run_reference(preset(Preset::Heat2D).p2, ra, rb, 6);
+  EXPECT_LE(max_abs_diff(a, ra), 1e-12 * std::max(1.0, max_abs(ra)));
+}
+
+TEST(Engine, AdvanceStreamsStepwise) {
+  // advance(1) x T must equal one run(T) for a fold-free method (folded
+  // kernels legitimately take a different remainder path per call).
+  ExecOptions opts;
+  opts.method = Method::Naive;
+  opts.tiling = Tiling::Off;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat1D, Extents{200}, opts);
+  const int h = ps.halo();
+  Grid1D a(200, h), b(200, h), ra(200, h), rb(200, h);
+  fill_random(a, 5);
+  copy(a, b);
+  copy(a, ra);
+  copy(a, rb);
+  for (int t = 0; t < 7; ++t) ps.advance(a.view(), b.view(), 1);
+  ps.run(ra.view(), rb.view(), 7);
+  EXPECT_EQ(max_abs_diff(a, ra), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one immutable handle, several threads, separate field sets.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ConcurrentRunsOnSeparateFieldSets) {
+  for (Tiling tiling : {Tiling::Off, Tiling::On}) {
+    ExecOptions opts;
+    opts.tiling = tiling;
+    opts.tsteps = 8;
+    PreparedStencil ps =
+        Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+    const int h = ps.halo();
+
+    // Serial baseline.
+    Grid2D sa(64, 72, h), sb(64, 72, h);
+    fill_random(sa, 11);
+    copy(sa, sb);
+    ps.run(sa.view(), sb.view(), 8);
+
+    constexpr int kThreads = 3;
+    std::vector<Grid2D> as, bs;
+    for (int i = 0; i < kThreads; ++i) {
+      as.emplace_back(64, 72, h);
+      bs.emplace_back(64, 72, h);
+      fill_random(as.back(), 11);
+      copy(as.back(), bs.back());
+    }
+    std::vector<std::thread> workers;
+    for (int i = 0; i < kThreads; ++i)
+      workers.emplace_back([&, i] {
+        for (int rep = 0; rep < 2; ++rep) {
+          fill_random(as[i], 11);
+          copy(as[i], bs[i]);
+          ps.run(as[i].view(), bs[i].view(), 8);
+        }
+      });
+    for (auto& w : workers) w.join();
+    for (int i = 0; i < kThreads; ++i)
+      EXPECT_EQ(max_abs_diff(as[i], sa), 0.0)
+          << "thread " << i << " tiling=" << static_cast<int>(tiling);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FieldView validation.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, RejectsBadViews) {
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, {});
+  const int h = ps.halo();
+  Grid2D a(48, 64, h), b(48, 64, h);
+
+  // Empty handle.
+  EXPECT_THROW(PreparedStencil{}.run(a.view(), b.view(), 1),
+               std::invalid_argument);
+  // Halo below the negotiated minimum.
+  Grid2D thin(48, 64, h > 0 ? h - 1 : 0);
+  EXPECT_THROW(ps.run(thin.view(), b.view(), 1), std::invalid_argument);
+  // Extent mismatch.
+  Grid2D wrong(48, 72, h);
+  EXPECT_THROW(ps.run(wrong.view(), b.view(), 1), std::invalid_argument);
+  // Non-natural layout tag.
+  EXPECT_THROW(ps.run(a.view().with_layout(Layout::Transposed), b.view(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ps.run(a.view(), b.view().with_layout(Layout::DLT), 1),
+               std::invalid_argument);
+  // Aliased ping-pong buffers.
+  EXPECT_THROW(ps.run(a.view(), a.view(), 1), std::invalid_argument);
+  // Hand-built view with a stride that is not a multiple of 8 doubles.
+  FieldView2D crooked(a.data(), 48, 64, a.stride() + 1, h);
+  EXPECT_THROW(ps.run(crooked, b.view(), 1), std::invalid_argument);
+  // Misaligned interior.
+  FieldView2D shifted(a.data() + 1, 48, 64, a.stride(), h);
+  EXPECT_THROW(ps.run(shifted, b.view(), 1), std::invalid_argument);
+  // Stride large enough for the interior but too small for both halos:
+  // consecutive rows would alias. (DataReorg's halo floor of 4 makes
+  // nx + halo = 64 a multiple of 8 while nx + 2*halo = 68 is the true
+  // minimum.)
+  ExecOptions dr;
+  dr.method = Method::DataReorg;
+  dr.isa = Isa::Avx2;
+  PreparedStencil pdr =
+      Engine::instance().prepare(Preset::Heat2D, Extents{60, 48}, dr);
+  ASSERT_EQ(pdr.halo(), 4);
+  Grid2D da(48, 60, 4), db(48, 60, 4);
+  FieldView2D tight(da.data(), 48, 60, /*stride=*/64, 4);
+  EXPECT_THROW(pdr.run(tight, db.view(), 1), std::invalid_argument);
+  // 3-D: plane stride too small for the haloed plane extent.
+  PreparedStencil p3 =
+      Engine::instance().prepare(Preset::Heat3D, Extents{32, 32, 32}, {});
+  const int h3 = p3.halo();
+  Grid3D a3(32, 32, 32, h3), b3(32, 32, 32, h3);
+  FieldView3D squashed(a3.data(), 32, 32, 32, a3.stride(),
+                       a3.plane_stride() - 8, h3);
+  EXPECT_THROW(p3.run(squashed, b3.view(), 1), std::invalid_argument);
+  // Dimensionality mismatch.
+  Grid1D a1(64, h), b1(64, h);
+  EXPECT_THROW(ps.run(a1.view(), b1.view(), 1), std::invalid_argument);
+}
+
+TEST(Engine, EnforcesSourceArity) {
+  PreparedStencil apop = Engine::instance().prepare(Preset::Apop, {}, {});
+  PreparedStencil heat = Engine::instance().prepare(Preset::Heat1D, {}, {});
+  const int n1 = static_cast<int>(apop.nx());
+  Grid1D a(n1, apop.halo()), b(n1, apop.halo()), k(n1, apop.halo());
+  fill_random(a, 1);
+  fill_random(k, 2);
+  copy(a, b);
+  // APOP needs its source view; Heat1D must reject one.
+  EXPECT_THROW(apop.run(a.view(), b.view(), 2), std::invalid_argument);
+  const int n2 = static_cast<int>(heat.nx());
+  Grid1D ha(n2, heat.halo()), hb(n2, heat.halo()), hk(n2, heat.halo());
+  fill_random(ha, 1);
+  copy(ha, hb);
+  EXPECT_THROW(heat.run(ha.view(), hb.view(), hk.view(), 2),
+               std::invalid_argument);
+  // The source array must not alias either ping-pong buffer.
+  Grid1D k2(n1, apop.halo());
+  fill_random(k2, 3);
+  EXPECT_THROW(apop.run(a.view(), b.view(), b.view(), 2),
+               std::invalid_argument);
+  EXPECT_THROW(apop.run(a.view(), b.view(), a.view(), 2),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsPartiallyOverlappingViews) {
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, {});
+  const int h = ps.halo();
+  // One big allocation; b's view starts one row into a's span.
+  Grid2D big(48 + 2, 64, h);
+  FieldView2D a(big.data(), 48, 64, big.stride(), h);
+  FieldView2D b(big.row(1), 48, 64, big.stride(), h);
+  EXPECT_THROW(ps.run(a, b, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: identical requests share one prepared state.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, PlanCacheSharesPreparedState) {
+  ExecOptions opts;
+  opts.tsteps = 12;
+  const long before = Engine::instance().plan_cache_hits();
+  PreparedStencil p1 =
+      Engine::instance().prepare(Preset::Box2D9, Extents{100, 90}, opts);
+  PreparedStencil p2 =
+      Engine::instance().prepare(Preset::Box2D9, Extents{100, 90}, opts);
+  EXPECT_GE(Engine::instance().plan_cache_hits(), before + 1);
+  // Same underlying immutable state, not merely equal values.
+  EXPECT_EQ(&p1.plan(), &p2.plan());
+  // A different request resolves to different prepared state.
+  opts.tsteps = 14;
+  PreparedStencil p3 =
+      Engine::instance().prepare(Preset::Box2D9, Extents{100, 90}, opts);
+  EXPECT_NE(&p1.plan(), &p3.plan());
+}
+
+TEST(Engine, PlanCacheEvictsStaleTunerGenerations) {
+  // A TuneCache store bumps the generation, making older cached plans
+  // permanently unmatchable; re-preparing must replace them, not leak.
+  ExecOptions opts;
+  opts.tsteps = 16;
+  Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  const std::size_t after_insert = Engine::instance().plan_cache_size();
+  const KernelInfo& k = require_kernel(Method::Ours2, 2);
+  TuneCache::instance().store(make_tune_key(k, 1, 8192, 8192, 1, 1000, 64),
+                              TunedGeometry{512, 32});
+  Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  // Stale-generation entries were evicted on insert: no net growth.
+  EXPECT_LE(Engine::instance().plan_cache_size(), after_insert);
+}
+
+// ---------------------------------------------------------------------------
+// Tuner shape buckets: nearby shapes reuse measurements, exact entries win.
+// ---------------------------------------------------------------------------
+
+TEST(TuneBuckets, QuarterOctaveRounding) {
+  EXPECT_EQ(tune_bucket(4096), 4096);
+  EXPECT_EQ(tune_bucket(4000), tune_bucket(4050));   // a few % apart: share
+  EXPECT_NE(tune_bucket(3000), tune_bucket(4000));   // ~25% apart: split
+  EXPECT_NE(tune_bucket(2000), tune_bucket(4000));   // an octave apart
+  EXPECT_LE(tune_bucket(12345), 12345);              // floor, not ceiling
+}
+
+TEST(TuneBuckets, NearbyShapesHitExactShapesWin) {
+  TuneCache cache;
+  const KernelInfo& k = require_kernel(Method::Ours2, 2);
+  const TuneKey exact = make_tune_key(k, 1, 4000, 4000, 1, 500, 4);
+  const TuneKey nearby = make_tune_key(k, 1, 4050, 3990, 1, 500, 4);
+  const TuneKey far = make_tune_key(k, 1, 9000, 4000, 1, 500, 4);
+  cache.store(exact, TunedGeometry{640, 64});
+  ASSERT_TRUE(cache.lookup_rounded(nearby).has_value());
+  EXPECT_EQ(cache.lookup_rounded(nearby)->tile, 640);
+  EXPECT_FALSE(cache.lookup_rounded(far).has_value());
+  // Different threads / radius / kernel never cross-match.
+  EXPECT_FALSE(
+      cache.lookup_rounded(make_tune_key(k, 1, 4050, 3990, 1, 500, 8))
+          .has_value());
+  EXPECT_FALSE(
+      cache.lookup_rounded(make_tune_key(k, 2, 4050, 3990, 1, 500, 4))
+          .has_value());
+  // An exact-shape entry outranks a bucket neighbour.
+  cache.store(nearby, TunedGeometry{512, 32});
+  EXPECT_EQ(cache.lookup_rounded(nearby)->tile, 512);
+  EXPECT_EQ(cache.lookup_rounded(exact)->tile, 640);
+}
+
+}  // namespace
+}  // namespace sf

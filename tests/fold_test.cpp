@@ -229,7 +229,8 @@ TEST(Folded1D, WithSourceTerm) {
   copy(a, ra);
   copy(a, rb);
 
-  run_reference(spec.p1, ra, rb, tsteps, &spec.src1, &k);
+  const FieldView1D kv = k.view();
+  run_reference(spec.p1, ra, rb, tsteps, &spec.src1, &kv);
   FoldedRunner1D fold(spec.p1, 2, n, &spec.src1);
   fold.run(a, b, tsteps, &k);
 

@@ -55,7 +55,8 @@ TEST_P(Kernel1D, MatchesReference) {
   copy(a, rb);
 
   const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
-  const Grid1D* kk = spec.has_source ? &k : nullptr;
+  const FieldView1D kv = k.view();
+  const FieldView1D* kk = spec.has_source ? &kv : nullptr;
 
   run_reference(spec.p1, ra, rb, c.tsteps, src, kk);
   kern->run1(spec.p1, a, b, src, kk, c.tsteps);

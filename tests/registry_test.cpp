@@ -126,8 +126,8 @@ TEST(Registry, LegacyRequiredHaloIsWorstCaseOverIsas) {
 // for the rest of the binary, so it carries a harmless no-op executor and
 // lives in an unused dimensionality (4-D) that every real enumeration
 // filters out.
-void probe_noop_run1(const Pattern1D&, Grid1D&, Grid1D&, const Pattern1D*,
-                     const Grid1D*, int) {}
+void probe_noop_run1(const Pattern1D&, const FieldView1D&, const FieldView1D&,
+                     const Pattern1D*, const FieldView1D*, int) {}
 
 TEST(Registry, AutoLookupFallsBackThroughNarrowerIsaLevels) {
   // A method registered at only a narrow ISA must stay reachable through

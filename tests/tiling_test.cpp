@@ -77,7 +77,8 @@ TEST_P(Tiled, MatchesReference) {
     copy(a, ra);
     copy(a, rb);
     const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
-    const Grid1D* kk = spec.has_source ? &k : nullptr;
+    const FieldView1D kv = k.view();
+    const FieldView1D* kk = spec.has_source ? &kv : nullptr;
     run_reference(spec.p1, ra, rb, c.tsteps, src, kk);
     run_tile_plan(spec.p1, a, b, src, kk, c.tsteps, opt);
     EXPECT_LE(max_abs_diff(a, ra), 1e-11 * std::max(1.0, max_abs(ra)));
