@@ -46,9 +46,8 @@ const std::vector<Competitor>& paper_competitors() {
 }
 
 Solver competitor_solver(const Competitor& m, const StencilSpec& spec,
-                         bool full) {
-  Solver s =
-      Solver::make(spec.id).method(m.kernel).isa(m.isa).tiling(Tiling::On);
+                         bool full, Tiling tiling) {
+  Solver s = Solver::make(spec.id).method(m.kernel).isa(m.isa).tiling(tiling);
   apply_bench_size(s, spec, full);
   return s;
 }

@@ -31,12 +31,13 @@ struct Competitor {
 const std::vector<Competitor>& paper_competitors();
 
 /// Builds the Solver for one competitor row: preset + kernel + ISA with the
-/// split-tiled multicore path forced on (Tiling::On — the paper's Fig. 9/10
+/// requested tiling policy (default Tiling::On — the paper's Fig. 9/10
 /// configuration; tile/time_block auto-negotiated, or tuned under SF_TUNE)
-/// and paper-size extents when `full`. Chain `.threads(c)` for the
-/// core-scaling sweeps.
+/// and paper-size extents when `full`. Pass Tiling::Auto to exercise the
+/// planner's cost-model decision instead of pinning the tiled path (the
+/// fig9 "auto" column). Chain `.threads(c)` for the core-scaling sweeps.
 Solver competitor_solver(const Competitor& m, const StencilSpec& spec,
-                         bool full);
+                         bool full, Tiling tiling = Tiling::On);
 
 /// Applies the paper-size (SF_BENCH_FULL=1) extents of `spec` to `s`.
 void apply_bench_size(Solver& s, const StencilSpec& spec, bool full);

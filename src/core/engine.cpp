@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/tuner.hpp"
 #include "fold/cost_model.hpp"
 #include "grid/grid_utils.hpp"
+#include "layout/transpose_layout.hpp"
 #include "tiling/split_tiling.hpp"
 
 namespace sf {
@@ -81,6 +83,9 @@ struct PreparedStencil::State {
   ExecutionPlan plan;
   long nx = 0, ny = 1, nz = 1;
   int tsteps = 0;
+  Layout preferred = Layout::Natural;  // kernel's layout at this radius
+  Layout accept = Layout::Natural;     // resident layout run() accepts
+  HaloPolicy halo_policy = HaloPolicy::Sync;
 };
 
 const StencilSpec& PreparedStencil::spec() const { return st_->spec; }
@@ -91,6 +96,9 @@ long PreparedStencil::nx() const { return st_->nx; }
 long PreparedStencil::ny() const { return st_->ny; }
 long PreparedStencil::nz() const { return st_->nz; }
 int PreparedStencil::tsteps() const { return st_->tsteps; }
+Layout PreparedStencil::preferred_layout() const { return st_->preferred; }
+Layout PreparedStencil::resident_layout() const { return st_->accept; }
+HaloPolicy PreparedStencil::halo_policy() const { return st_->halo_policy; }
 
 // ---------------------------------------------------------------------------
 // View validation
@@ -107,13 +115,36 @@ bool aligned64(const double* p) {
                               which + "' " + why);
 }
 
-void check_common(const char* which, bool valid, Layout layout, int halo,
-                  int need_halo, const double* data) {
+// `accept` is the resident layout this preparation admits beyond Natural
+// (ExecOptions::layout): Natural-tagged views are always valid (the kernel
+// transforms in/out per call), accept-tagged views execute resident —
+// provided their recorded layout width matches the prepared kernel's (the
+// transforms permute differently per SIMD width, so a W=4-resident buffer
+// handed to a W=8 kernel would be silently misread, never detectably).
+void check_common(const char* which, bool valid, Layout layout,
+                  int layout_width, int halo, int need_halo,
+                  const double* data, Layout accept, int want_width) {
   if (!valid) bad_view(which, "is empty (default-constructed)");
-  if (layout != Layout::Natural)
-    bad_view(which, std::string("is tagged ") + layout_name(layout) +
-                        "; executors expect natural layout and apply "
-                        "transforms internally");
+  if (layout != Layout::Natural && layout != accept)
+    bad_view(which,
+             std::string("is tagged ") + layout_name(layout) +
+                 "; this preparation accepts " +
+                 (accept == Layout::Natural
+                      ? std::string("only natural-layout views (prepare with "
+                                    "ExecOptions::layout = the kernel's "
+                                    "preferred_layout() for resident "
+                                    "execution)")
+                      : std::string("natural or ") + layout_name(accept) +
+                            " views (transform via to_resident_layout)"));
+  if (layout != Layout::Natural && layout_width != want_width) {
+    std::ostringstream os;
+    os << "is tagged " << layout_name(layout) << " for SIMD width "
+       << layout_width << " but the prepared kernel reads width "
+       << want_width
+       << "; transform via to_resident_layout on this handle (hand-tagged "
+          "views must record the width: with_layout(layout, width))";
+    bad_view(which, os.str());
+  }
   if (halo < need_halo) {
     std::ostringstream os;
     os << "has halo " << halo << " but the prepared kernel requires >= "
@@ -123,6 +154,15 @@ void check_common(const char* which, bool valid, Layout layout, int halo,
   if (!aligned64(data))
     bad_view(which, "interior is not 64-byte aligned (allocate via Grid or "
                     "an aligned allocator)");
+}
+
+// The ping-pong pair must share one layout: the kernels treat both buffers
+// as being in the same storage order throughout the run.
+void check_same_layout(Layout a, Layout b) {
+  if (a != b)
+    bad_view("b", std::string("is tagged ") + layout_name(b) +
+                      " but 'a' is tagged " + layout_name(a) +
+                      "; ping-pong buffers must share one layout");
 }
 
 // Addressable span of a view, as [lo, hi) byte-order addresses. Pointer
@@ -206,9 +246,13 @@ void check_plane_stride(const char* which, std::size_t plane, int stride,
 }
 
 void validate(bool has_source, int need_halo, long nx, const FieldView1D& a,
-              const FieldView1D& b, const FieldView1D* k) {
-  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
-  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+              const FieldView1D& b, const FieldView1D* k, Layout accept,
+              int want_width) {
+  check_common("a", a.valid(), a.layout(), a.layout_width(), a.halo(),
+               need_halo, a.data(), accept, want_width);
+  check_common("b", b.valid(), b.layout(), b.layout_width(), b.halo(),
+               need_halo, b.data(), accept, want_width);
+  check_same_layout(a.layout(), b.layout());
   check_extent("a", "n", a.n(), nx);
   check_extent("b", "n", b.n(), nx);
   check_disjoint("b", b, "a", a);
@@ -217,8 +261,11 @@ void validate(bool has_source, int need_halo, long nx, const FieldView1D& a,
       throw std::invalid_argument(
           "PreparedStencil::run: this stencil has a source term; use the "
           "overload taking the source view 'k'");
-    check_common("k", k->valid(), k->layout(), k->halo(), need_halo,
-                 k->data());
+    // The source array's layout is independent of the pair's: a
+    // natural-tagged k is copied+transformed per call, a resident-tagged
+    // one is read zero-copy.
+    check_common("k", k->valid(), k->layout(), k->layout_width(), k->halo(),
+                 need_halo, k->data(), accept, want_width);
     check_extent("k", "n", k->n(), nx);
     check_disjoint("k", *k, "a", a);
     check_disjoint("k", *k, "b", b);
@@ -230,9 +277,12 @@ void validate(bool has_source, int need_halo, long nx, const FieldView1D& a,
 }
 
 void validate(int need_halo, long nx, long ny, const FieldView2D& a,
-              const FieldView2D& b) {
-  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
-  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+              const FieldView2D& b, Layout accept, int want_width) {
+  check_common("a", a.valid(), a.layout(), a.layout_width(), a.halo(),
+               need_halo, a.data(), accept, want_width);
+  check_common("b", b.valid(), b.layout(), b.layout_width(), b.halo(),
+               need_halo, b.data(), accept, want_width);
+  check_same_layout(a.layout(), b.layout());
   check_extent("a", "nx", a.nx(), nx);
   check_extent("a", "ny", a.ny(), ny);
   check_extent("b", "nx", b.nx(), nx);
@@ -243,9 +293,12 @@ void validate(int need_halo, long nx, long ny, const FieldView2D& a,
 }
 
 void validate(int need_halo, long nx, long ny, long nz, const FieldView3D& a,
-              const FieldView3D& b) {
-  check_common("a", a.valid(), a.layout(), a.halo(), need_halo, a.data());
-  check_common("b", b.valid(), b.layout(), b.halo(), need_halo, b.data());
+              const FieldView3D& b, Layout accept, int want_width) {
+  check_common("a", a.valid(), a.layout(), a.layout_width(), a.halo(),
+               need_halo, a.data(), accept, want_width);
+  check_common("b", b.valid(), b.layout(), b.layout_width(), b.halo(),
+               need_halo, b.data(), accept, want_width);
+  check_same_layout(a.layout(), b.layout());
   check_extent("a", "nx", a.nx(), nx);
   check_extent("a", "ny", a.ny(), ny);
   check_extent("a", "nz", a.nz(), nz);
@@ -262,7 +315,9 @@ void validate(int need_halo, long nx, long ny, long nz, const FieldView3D& a,
 // The Dirichlet halo is input state on *both* ping-pong buffers (kernels
 // read whichever buffer holds the current parity), so run() mirrors a's
 // halo ring into b before executing. Interior cells are not touched —
-// that is the zero-copy contract.
+// that is the zero-copy contract. The copy is positional, so it is valid
+// in any resident layout as long as both buffers share one (validated):
+// permute-then-copy and copy-then-permute produce identical bytes.
 void sync_halo(const FieldView1D& a, const FieldView1D& b) {
   const int h = std::min(a.halo(), b.halo());
   for (int i = -h; i < 0; ++i) b.at(i) = a.at(i);
@@ -314,8 +369,9 @@ void PreparedStencil::run(FieldView1D a, FieldView1D b, FieldView1D k,
     throw std::invalid_argument("1-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
   const FieldView1D* kk = k.valid() ? &k : nullptr;
-  validate(st_->spec.has_source, st_->halo, st_->nx, a, b, kk);
-  sync_halo(a, b);
+  validate(st_->spec.has_source, st_->halo, st_->nx, a, b, kk, st_->accept,
+           st_->kernel->width);
+  if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   const Pattern1D* src = st_->spec.has_source ? &st_->spec.src1 : nullptr;
   if (st_->plan.tiled)
     run_tile_plan(st_->spec.p1, a, b, src, kk, tsteps, st_->plan.tile);
@@ -329,8 +385,9 @@ void PreparedStencil::run(FieldView2D a, FieldView2D b, int tsteps) const {
   if (st_->spec.dims != 2)
     throw std::invalid_argument("2-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
-  validate(st_->halo, st_->nx, st_->ny, a, b);
-  sync_halo(a, b);
+  validate(st_->halo, st_->nx, st_->ny, a, b, st_->accept,
+           st_->kernel->width);
+  if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   if (st_->plan.tiled)
     run_tile_plan(st_->spec.p2, a, b, tsteps, st_->plan.tile);
   else
@@ -343,8 +400,9 @@ void PreparedStencil::run(FieldView3D a, FieldView3D b, int tsteps) const {
   if (st_->spec.dims != 3)
     throw std::invalid_argument("3-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
-  validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b);
-  sync_halo(a, b);
+  validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b, st_->accept,
+           st_->kernel->width);
+  if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   if (st_->plan.tiled)
     run_tile_plan(st_->spec.p3, a, b, tsteps, st_->plan.tile);
   else
@@ -366,6 +424,78 @@ void PreparedStencil::advance(FieldView2D a, FieldView2D b,
 void PreparedStencil::advance(FieldView3D a, FieldView3D b,
                               int nsteps) const {
   run(a, b, nsteps);
+}
+
+// ---------------------------------------------------------------------------
+// Resident-layout conversion helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared implementation of to_resident_layout()/to_natural_layout(): the
+// preferred layouts are involutions (register transpose), so the same
+// transform converts in either direction and only the tag bookkeeping
+// differs.
+template <class View>
+View convert_layout(const PreparedStencil& ps, View v, bool to_resident,
+                    const char* fn) {
+  if (!ps.valid())
+    throw std::invalid_argument(std::string(fn) +
+                                ": empty PreparedStencil handle");
+  if (!v.valid())
+    throw std::invalid_argument(std::string(fn) + ": empty view");
+  const Layout pref = ps.preferred_layout();
+  if (pref == Layout::Natural) {
+    if (v.layout() != Layout::Natural)
+      throw std::invalid_argument(
+          std::string(fn) + ": view is tagged " + layout_name(v.layout()) +
+          " but the prepared kernel keeps data in natural layout");
+    return v;  // nothing to convert to or from
+  }
+  // A non-natural view must have been transformed at *this* kernel's SIMD
+  // width — the permutations differ per width, so converting (or handing
+  // back, in the idempotent case) a foreign-width buffer would scramble it
+  // undetectably.
+  if (v.layout() != Layout::Natural &&
+      v.layout_width() != ps.kernel().width) {
+    std::ostringstream os;
+    os << fn << ": view is tagged " << layout_name(v.layout())
+       << " for SIMD width " << v.layout_width()
+       << " but this handle's kernel uses width " << ps.kernel().width;
+    throw std::invalid_argument(os.str());
+  }
+  const Layout want = to_resident ? pref : Layout::Natural;
+  if (v.layout() == want) return v;  // idempotent
+  const Layout from = to_resident ? Layout::Natural : pref;
+  if (v.layout() != from)
+    throw std::invalid_argument(
+        std::string(fn) + ": view is tagged " + layout_name(v.layout()) +
+        "; expected " + layout_name(from) + " (preferred layout is " +
+        layout_name(pref) + ")");
+  apply_transpose_layout(v, ps.kernel().width);  // involution
+  return v.with_layout(want,
+                       want == Layout::Natural ? 0 : ps.kernel().width);
+}
+
+}  // namespace
+
+FieldView1D to_resident_layout(const PreparedStencil& ps, FieldView1D v) {
+  return convert_layout(ps, v, true, "to_resident_layout");
+}
+FieldView2D to_resident_layout(const PreparedStencil& ps, FieldView2D v) {
+  return convert_layout(ps, v, true, "to_resident_layout");
+}
+FieldView3D to_resident_layout(const PreparedStencil& ps, FieldView3D v) {
+  return convert_layout(ps, v, true, "to_resident_layout");
+}
+FieldView1D to_natural_layout(const PreparedStencil& ps, FieldView1D v) {
+  return convert_layout(ps, v, false, "to_natural_layout");
+}
+FieldView2D to_natural_layout(const PreparedStencil& ps, FieldView2D v) {
+  return convert_layout(ps, v, false, "to_natural_layout");
+}
+FieldView3D to_natural_layout(const PreparedStencil& ps, FieldView3D v) {
+  return convert_layout(ps, v, false, "to_natural_layout");
 }
 
 // ---------------------------------------------------------------------------
@@ -437,7 +567,17 @@ struct Engine::CacheEntry {
   ExecOptions opts;
   long nx = 0, ny = 1, nz = 1;
   int tsteps = 0;
-  long tune_version = 0;  // TuneCache generation the plan was built against
+  // Per-key tuner dependence: a plan that consulted the TuneCache records
+  // *which* key it asked about and what the lookup returned. The entry
+  // stays valid exactly while that lookup still returns the same answer —
+  // so tuning one configuration invalidates only the preparations that
+  // actually read its entry, not every cached plan (the old scheme keyed
+  // on the table-wide generation counter and evicted wholesale). Plans
+  // that never consulted the tuner (untiled, or explicit tile/time_block)
+  // are valid across any tuning activity.
+  bool tuner_dependent = false;
+  TuneKey tune_key;
+  std::optional<TunedGeometry> tune_seen;
   std::shared_ptr<const PreparedStencil::State> state;
 };
 
@@ -461,12 +601,13 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   const int tsteps =
       opts.tsteps > 0 ? opts.tsteps : static_cast<int>(spec.small_tsteps);
 
-  // Plans read the TuneCache, so a cached preparation is only valid for the
-  // tuner generation it was built against; any mutation (store, clear,
-  // file load) invalidates it — cheaply: the next prepare re-plans and
-  // picks the current tuning table up.
+  // Tiled auto-geometry plans read the TuneCache, so each cached
+  // preparation snapshots the lookup it depended on; it is served only
+  // while that per-key lookup still returns the same answer (see
+  // CacheEntry). The request key itself includes every ExecOptions field —
+  // the resident-layout axis and halo policy change run()-time behavior,
+  // so preparations differing in them must not be shared.
   const std::uint64_t sh = hash_spec(spec);
-  const long tv = TuneCache::instance().generation();
   auto matches = [&](const CacheEntry& e) {
     return e.spec_hash == sh && e.nx == ext.nx && e.ny == ext.ny &&
            e.nz == ext.nz && e.tsteps == tsteps &&
@@ -474,12 +615,18 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
            e.opts.tiling == opts.tiling && e.opts.threads == opts.threads &&
            e.opts.tile == opts.tile &&
            e.opts.time_block == opts.time_block &&
+           e.opts.layout == opts.layout &&
+           e.opts.halo_policy == opts.halo_policy &&
            same_spec(e.state->spec, spec);
+  };
+  auto tuner_fresh = [](const CacheEntry& e) {
+    return !e.tuner_dependent ||
+           TuneCache::instance().lookup_rounded(e.tune_key) == e.tune_seen;
   };
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const CacheEntry& e : cache_)
-      if (e.tune_version == tv && matches(e)) {
+      if (matches(e) && tuner_fresh(e)) {
         ++hits_;
         return PreparedStencil(e.state);
       }
@@ -501,6 +648,18 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
                                 std::to_string(spec.dims) + "-D at " +
                                 isa_name(resolve_isa(opts.isa)));
   st->halo = st->kernel->required_halo(effective_radius(spec));
+  // Resident-layout negotiation: the handle records the kernel's engaged
+  // layout preference, and a request to accept resident views must match
+  // it — a mismatch would mean kernels misinterpreting the caller's bytes.
+  st->preferred = st->kernel->resident_layout(effective_radius(spec));
+  st->accept = opts.layout;
+  st->halo_policy = opts.halo_policy;
+  if (opts.layout != Layout::Natural && opts.layout != st->preferred)
+    throw std::invalid_argument(
+        std::string("Engine::prepare: ExecOptions::layout requests ") +
+        layout_name(opts.layout) + "-resident execution but kernel '" +
+        st->kernel->name + "' keeps data in " + layout_name(st->preferred) +
+        " layout at this radius");
 
   PlanRequest req;
   req.spec = &st->spec;
@@ -524,17 +683,30 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   entry.ny = ext.ny;
   entry.nz = ext.nz;
   entry.tsteps = tsteps;
-  entry.tune_version = tv;
+  // Snapshot the tuner lookup this plan depended on (plan_execution
+  // consults the cache only for tiled plans with auto geometry, keyed on
+  // the negotiated thread count). The snapshot is taken after planning, so
+  // a store racing in between leaves a snapshot one step ahead of the plan
+  // — harmless: the entry self-invalidates on the *next* change to that
+  // key, and tuned geometry is advisory, never a correctness input.
+  entry.tuner_dependent =
+      st->plan.tiled && opts.tile == 0 && opts.time_block == 0;
+  if (entry.tuner_dependent) {
+    entry.tune_key =
+        make_tune_key(*st->kernel, effective_radius(spec), ext.nx, ext.ny,
+                      ext.nz, tsteps, st->plan.tile.threads);
+    entry.tune_seen = TuneCache::instance().lookup_rounded(entry.tune_key);
+  }
   entry.state = st;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Entries from older tuner generations can never match again (lookups
-    // require the current generation), so evict them wholesale along with
-    // any same-request entry being superseded; a hard cap bounds the cache
-    // against unbounded distinct-shape churn in long-lived processes.
+    // Evict the same-request entry being superseded and any entry whose
+    // tuner snapshot went stale (it can never be served again); a hard cap
+    // bounds the cache against unbounded distinct-shape churn in
+    // long-lived processes.
     cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
                                 [&](const CacheEntry& e) {
-                                  return e.tune_version != tv || matches(e);
+                                  return matches(e) || !tuner_fresh(e);
                                 }),
                  cache_.end());
     constexpr std::size_t kMaxEntries = 256;

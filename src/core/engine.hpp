@@ -48,6 +48,17 @@ struct Extents {
   long nz = 0;  ///< Third extent (ignored below 3-D).
 };
 
+/// Per-call halo handling of PreparedStencil::run()/advance().
+enum class HaloPolicy {
+  Sync,   ///< run() mirrors a's Dirichlet halo ring into b before executing
+          ///< (the safe default: b's halo may hold anything).
+  Clean,  ///< The caller promises b's halo already equals a's (true after
+          ///< any prior run()/advance() on the same pair, since kernels
+          ///< never write halos) — the O(surface) per-call sync is skipped.
+          ///< Streaming advance() loops use this to shave the remaining
+          ///< per-call work once the pair is warmed up.
+};
+
 /// Execution knobs of a prepare request — the planning-relevant subset of
 /// the Solver builder, in one aggregate.
 struct ExecOptions {
@@ -60,6 +71,18 @@ struct ExecOptions {
   int tsteps = 0;  ///< Planning horizon in time steps (0 = preset default).
                    ///< run() may execute a different horizon; the captured
                    ///< geometry is simply re-clamped by the engine.
+  Layout layout = Layout::Natural;
+  ///< Resident field layout run()/advance() will accept in addition to
+  ///< Layout::Natural. Layout::Natural (the default) keeps the historical
+  ///< contract: only natural-layout views are accepted and layout-using
+  ///< kernels transform in/out on every call. Requesting the selected
+  ///< kernel's preferred layout (PreparedStencil::preferred_layout(),
+  ///< Transposed for the "ours" methods) lets callers keep their buffers
+  ///< in that layout across an advance() stream — transform once via
+  ///< to_resident_layout(), then every call skips the involution.
+  ///< prepare() throws when the layout is not the kernel's preference.
+  HaloPolicy halo_policy = HaloPolicy::Sync;
+  ///< Per-call halo handling; see HaloPolicy.
 };
 
 /// Immutable, thread-safe handle to one prepared stencil execution: the
@@ -69,7 +92,11 @@ struct ExecOptions {
 /// run()/advance() execute zero-copy on caller-owned buffers. The result
 /// always lands in `a`; `b` is same-shaped scratch whose halo run() syncs
 /// from `a` (Dirichlet halos are part of the input state, and both
-/// ping-pong buffers expose them to the kernels).
+/// ping-pong buffers expose them to the kernels) — unless the handle was
+/// prepared with HaloPolicy::Clean. Handles prepared with
+/// ExecOptions::layout additionally accept views kept resident in the
+/// kernel's preferred layout (see to_resident_layout), skipping the
+/// per-call layout transform.
 class PreparedStencil {
  public:
   /// An empty handle; valid() is false and run() throws. Assign from
@@ -95,6 +122,19 @@ class PreparedStencil {
   long nz() const;
   /// The planning horizon the geometry was negotiated for.
   int tsteps() const;
+  /// The memory layout the negotiated kernel keeps field data in between
+  /// time steps (KernelInfo::resident_layout at the prepared radius):
+  /// Layout::Transposed for the engaged register-transpose kernels,
+  /// Layout::Natural otherwise. This is what to_resident_layout() converts
+  /// to — independent of whether *this handle* accepts resident views
+  /// (that requires ExecOptions::layout, see resident_layout()).
+  Layout preferred_layout() const;
+  /// The resident layout run()/advance() accepts beyond Layout::Natural —
+  /// ExecOptions::layout as validated by prepare(). Natural means this is
+  /// a natural-only handle (the historical contract).
+  Layout resident_layout() const;
+  /// The per-call halo policy this handle was prepared with.
+  HaloPolicy halo_policy() const;
 
   /// Executes `tsteps` steps on a 1-D source-free stencil; result in `a`.
   /// Throws std::invalid_argument on view/shape mismatch.
@@ -128,10 +168,13 @@ class PreparedStencil {
 };
 
 /// Process-wide prepared-execution service. prepare() performs the one-time
-/// work — kernel selection, halo negotiation, plan/tune-cache consultation,
-/// worker-pool warmup — and hands back an immutable PreparedStencil.
-/// Identical requests (same stencil, extents, options, and tuner-cache
-/// generation) return a shared cached preparation. Thread-safe.
+/// work — kernel selection, halo and resident-layout negotiation,
+/// plan/tune-cache consultation, worker-pool warmup — and hands back an
+/// immutable PreparedStencil. Identical requests (same stencil, extents
+/// and options) return a shared cached preparation; a preparation whose
+/// plan consulted the tuner stays cached exactly while its *own* TuneCache
+/// lookup is unchanged (per-key invalidation — tuning one configuration
+/// never evicts unrelated prepared handles). Thread-safe.
 class Engine {
  public:
   /// The process-wide engine.
@@ -170,6 +213,30 @@ class Engine {
   long hits_ = 0;
   int warmed_threads_ = 0;
 };
+
+/// Transforms `v`'s buffer in place into `ps`'s preferred resident layout
+/// and returns the view re-tagged with it. The one-time counterpart of the
+/// per-call involution: pay it once, then stream transposed-tagged views
+/// through a handle prepared with ExecOptions::layout and every
+/// run()/advance() skips the transform. Halo rows/planes are transformed
+/// along with the interior (kernels read y/z-neighbours of boundary rows
+/// through layout-aware accessors). No-op when the preferred layout is
+/// Natural or `v` is already tagged with it; throws std::invalid_argument
+/// for views tagged with any other layout.
+FieldView1D to_resident_layout(const PreparedStencil& ps, FieldView1D v);
+/// 2-D overload of to_resident_layout().
+FieldView2D to_resident_layout(const PreparedStencil& ps, FieldView2D v);
+/// 3-D overload of to_resident_layout().
+FieldView3D to_resident_layout(const PreparedStencil& ps, FieldView3D v);
+
+/// Inverse of to_resident_layout(): transforms a resident-tagged view's
+/// buffer back to natural order (the transpose layout is an involution) and
+/// returns it re-tagged Layout::Natural. No-op on natural-tagged views.
+FieldView1D to_natural_layout(const PreparedStencil& ps, FieldView1D v);
+/// 2-D overload of to_natural_layout().
+FieldView2D to_natural_layout(const PreparedStencil& ps, FieldView2D v);
+/// 3-D overload of to_natural_layout().
+FieldView3D to_natural_layout(const PreparedStencil& ps, FieldView3D v);
 
 /// Useful FLOPs per time step for a stencil at the given size.
 double flops_per_step(const StencilSpec& spec, long nx, long ny, long nz);

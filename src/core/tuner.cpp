@@ -116,7 +116,6 @@ std::optional<TunedGeometry> TuneCache::lookup_rounded(
 void TuneCache::store(const TuneKey& key, const TunedGeometry& g) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stores_;
-  ++generation_;
   bool replaced = false;
   for (auto& e : entries_)
     if (e.first == key) {
@@ -138,11 +137,6 @@ long TuneCache::stored_count() const {
   return stores_;
 }
 
-long TuneCache::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return generation_;
-}
-
 std::size_t TuneCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
@@ -151,7 +145,6 @@ std::size_t TuneCache::size() const {
 void TuneCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  ++generation_;
 }
 
 std::size_t TuneCache::load_file(const std::string& path) {
@@ -160,7 +153,6 @@ std::size_t TuneCache::load_file(const std::string& path) {
   std::size_t loaded = 0;
   std::string line;
   std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     TuneKey k;

@@ -56,6 +56,14 @@ struct TuneKey {
 struct TunedGeometry {
   int tile = 0;        ///< Tile extent along the tiled dimension.
   int time_block = 0;  ///< Time steps per block.
+
+  /// Field-wise equality (the Engine's plan cache compares the lookup it
+  /// snapshotted at prepare time against the current one).
+  bool operator==(const TunedGeometry& o) const {
+    return tile == o.tile && time_block == o.time_block;
+  }
+  /// Field-wise inequality.
+  bool operator!=(const TunedGeometry& o) const { return !(*this == o); }
 };
 
 /// Builds the key for a kernel/radius/shape/horizon/threads configuration.
@@ -100,11 +108,6 @@ class TuneCache {
   /// must not store (= must not have re-measured) again.
   long stored_count() const;
 
-  /// Monotone counter bumped by every mutation (store, clear, load_file).
-  /// Consumers that cache *derived* state — the Engine's plan cache — key
-  /// on it so any change to the tuning table invalidates them.
-  long generation() const;
-
   /// Number of distinct keys currently cached.
   std::size_t size() const;
 
@@ -131,7 +134,6 @@ class TuneCache {
   std::vector<std::pair<TuneKey, TunedGeometry>> entries_;
   std::string persist_path_;  // "" = in-process only
   long stores_ = 0;
-  long generation_ = 0;
 };
 
 }  // namespace sf

@@ -27,11 +27,15 @@
 
 namespace sf {
 
-/// Storage order of the elements a view covers. Executors expect Natural
-/// input and apply/undo the paper's layouts internally; the tag exists so
-/// buffers that are *kept* in a transformed layout (e.g. streaming callers
-/// that amortize the transpose) are explicit rather than silently
-/// misinterpreted.
+/// Storage order of the elements a view covers. Executors transform
+/// Natural input into their working layout and back on every call; views
+/// tagged with a kernel's *preferred* layout (KernelInfo::preferred_layout,
+/// Transposed for the register-transpose methods) execute resident — the
+/// per-call involution is skipped, which is how streaming callers amortize
+/// the transform across an advance() stream (core/engine.hpp
+/// to_resident_layout). The tag is a caller promise about the bytes; a
+/// mismatched tag is rejected by PreparedStencil::run validation, never
+/// silently misinterpreted.
 enum class Layout {
   Natural,     ///< Plain row-major order (what Grid allocates).
   Transposed,  ///< Register-transpose layout (layout/transpose_layout.hpp).
@@ -57,8 +61,9 @@ class FieldView1D {
   /// Wraps caller memory; `interior` points at logical element 0 (halo at
   /// negative indices).
   FieldView1D(double* interior, int n, int halo,
-              Layout layout = Layout::Natural)
-      : p_(interior), n_(n), halo_(halo), layout_(layout) {}
+              Layout layout = Layout::Natural, int layout_width = 0)
+      : p_(interior), n_(n), halo_(halo), layout_(layout),
+        layout_w_(layout_width) {}
 
   /// Interior extent.
   int n() const { return n_; }
@@ -66,6 +71,12 @@ class FieldView1D {
   int halo() const { return halo_; }
   /// Storage-order tag of the wrapped memory.
   Layout layout() const { return layout_; }
+  /// SIMD width (in doubles) the non-natural layout was built with — the
+  /// transforms permute differently per width, so resident validation
+  /// matches this against the prepared kernel's width. 0 on natural views
+  /// (and on tags that never recorded one, which resident validation
+  /// rejects: such bytes cannot be verified).
+  int layout_width() const { return layout_w_; }
   /// True when the view wraps memory (default-constructed views do not).
   bool valid() const { return p_ != nullptr; }
 
@@ -74,15 +85,18 @@ class FieldView1D {
   /// Element access by logical index (halo at negative indices).
   double& at(int i) const { return p_[i]; }
 
-  /// The same view re-tagged with `l` (no data movement).
-  FieldView1D with_layout(Layout l) const {
-    return FieldView1D(p_, n_, halo_, l);
+  /// The same view re-tagged with `l` (no data movement). Non-natural tags
+  /// should record the SIMD width the transform used (to_resident_layout
+  /// does this automatically).
+  FieldView1D with_layout(Layout l, int layout_width = 0) const {
+    return FieldView1D(p_, n_, halo_, l, layout_width);
   }
 
  private:
   double* p_ = nullptr;
   int n_ = 0, halo_ = 0;
   Layout layout_ = Layout::Natural;
+  int layout_w_ = 0;
 };
 
 /// Non-owning view of a 2-D halo field: ny x nx interior, rows `stride`
@@ -93,9 +107,9 @@ class FieldView2D {
   FieldView2D() = default;
   /// Wraps caller memory; `interior` points at logical element (0,0).
   FieldView2D(double* interior, int ny, int nx, int stride, int halo,
-              Layout layout = Layout::Natural)
+              Layout layout = Layout::Natural, int layout_width = 0)
       : p_(interior), ny_(ny), nx_(nx), stride_(stride), halo_(halo),
-        layout_(layout) {}
+        layout_(layout), layout_w_(layout_width) {}
 
   /// Interior row count.
   int ny() const { return ny_; }
@@ -107,6 +121,8 @@ class FieldView2D {
   int halo() const { return halo_; }
   /// Storage-order tag of the wrapped memory.
   Layout layout() const { return layout_; }
+  /// SIMD width of the non-natural layout; see FieldView1D::layout_width().
+  int layout_width() const { return layout_w_; }
   /// True when the view wraps memory (default-constructed views do not).
   bool valid() const { return p_ != nullptr; }
 
@@ -120,15 +136,17 @@ class FieldView2D {
   /// Element access by logical index (halo at negative indices).
   double& at(int y, int x) const { return row(y)[x]; }
 
-  /// The same view re-tagged with `l` (no data movement).
-  FieldView2D with_layout(Layout l) const {
-    return FieldView2D(p_, ny_, nx_, stride_, halo_, l);
+  /// The same view re-tagged with `l` (no data movement); see
+  /// FieldView1D::with_layout().
+  FieldView2D with_layout(Layout l, int layout_width = 0) const {
+    return FieldView2D(p_, ny_, nx_, stride_, halo_, l, layout_width);
   }
 
  private:
   double* p_ = nullptr;
   int ny_ = 0, nx_ = 0, stride_ = 0, halo_ = 0;
   Layout layout_ = Layout::Natural;
+  int layout_w_ = 0;
 };
 
 /// Non-owning view of a 3-D halo field: nz x ny x nx interior, rows
@@ -140,9 +158,10 @@ class FieldView3D {
   /// Wraps caller memory; `interior` points at logical element (0,0,0).
   FieldView3D(double* interior, int nz, int ny, int nx, int stride,
               std::size_t plane_stride, int halo,
-              Layout layout = Layout::Natural)
+              Layout layout = Layout::Natural, int layout_width = 0)
       : p_(interior), nz_(nz), ny_(ny), nx_(nx), stride_(stride),
-        plane_(plane_stride), halo_(halo), layout_(layout) {}
+        plane_(plane_stride), halo_(halo), layout_(layout),
+        layout_w_(layout_width) {}
 
   /// Interior plane count.
   int nz() const { return nz_; }
@@ -158,6 +177,8 @@ class FieldView3D {
   int halo() const { return halo_; }
   /// Storage-order tag of the wrapped memory.
   Layout layout() const { return layout_; }
+  /// SIMD width of the non-natural layout; see FieldView1D::layout_width().
+  int layout_width() const { return layout_w_; }
   /// True when the view wraps memory (default-constructed views do not).
   bool valid() const { return p_ != nullptr; }
 
@@ -172,9 +193,11 @@ class FieldView3D {
   /// Element access by logical index (halo at negative indices).
   double& at(int z, int y, int x) const { return row(z, y)[x]; }
 
-  /// The same view re-tagged with `l` (no data movement).
-  FieldView3D with_layout(Layout l) const {
-    return FieldView3D(p_, nz_, ny_, nx_, stride_, plane_, halo_, l);
+  /// The same view re-tagged with `l` (no data movement); see
+  /// FieldView1D::with_layout().
+  FieldView3D with_layout(Layout l, int layout_width = 0) const {
+    return FieldView3D(p_, nz_, ny_, nx_, stride_, plane_, halo_, l,
+                       layout_width);
   }
 
  private:
@@ -183,6 +206,7 @@ class FieldView3D {
   std::size_t plane_ = 0;
   int halo_ = 0;
   Layout layout_ = Layout::Natural;
+  int layout_w_ = 0;
 };
 
 }  // namespace sf

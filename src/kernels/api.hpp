@@ -6,9 +6,11 @@
 // runtime, so the same code serves every Table-1 benchmark.
 //
 // Executors take zero-copy FieldViews (grid/field_view.hpp) over
-// caller-owned memory; Grids convert implicitly. Views must be in
-// Layout::Natural order — kernels apply and undo the paper's layouts
-// internally.
+// caller-owned memory; Grids convert implicitly. Natural-layout views are
+// transformed into the kernel's working layout and back on every call;
+// views tagged with the kernel's preferred layout
+// (KernelInfo::preferred_layout) execute resident, skipping the per-call
+// transform (see core/engine.hpp).
 //
 // Kernel lookup lives in kernels/registry.hpp: executors self-register with
 // capability metadata (dims, ISA, halo, fold depth) and are found by method

@@ -259,13 +259,13 @@ void run_ours1_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   VTaps1<W> taps(p);
   VTaps1<W> staps(src != nullptr ? *src : Pattern1D{});
 
-  grid_transpose_layout<W>(a);
-  Grid1D kd(k != nullptr ? k->n() : 1, k != nullptr ? k->halo() : 1);
-  if (k != nullptr) {
-    copy(*k, kd);
-    grid_transpose_layout<W>(kd);
-  }
-  const double* kk = k != nullptr ? kd.data() : nullptr;
+  // Transposed-resident views (core/engine.hpp) are already in layout: the
+  // per-call involution in and out is skipped, and a resident source array
+  // is read zero-copy instead of through a transformed private copy.
+  const bool resident = a.layout() == Layout::Transposed;
+  if (!resident) grid_transpose_layout<W>(a);
+  StagedSource1D<W> ks(k);
+  const double* kk = ks.data;
 
   const FieldView1D* cur = &a;
   const FieldView1D* nxt = &b;
@@ -274,7 +274,7 @@ void run_ours1_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
     std::swap(cur, nxt);
   }
   if (cur != &a) copy_interior(*cur, a);
-  grid_transpose_layout<W>(a);  // involution: back to original order
+  if (!resident) grid_transpose_layout<W>(a);  // involution: original order
 }
 
 // ---------------------------------------------------------------------------
@@ -299,13 +299,11 @@ void run_ours2_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   VTaps1<W> staps(src != nullptr ? *src : Pattern1D{});
   VTaps1<W> fstaps(src != nullptr ? fsrc : Pattern1D{});
 
-  grid_transpose_layout<W>(a);
-  Grid1D kd(k != nullptr ? k->n() : 1, k != nullptr ? k->halo() : 1);
-  if (k != nullptr) {
-    copy(*k, kd);
-    grid_transpose_layout<W>(kd);
-  }
-  const double* kk = k != nullptr ? kd.data() : nullptr;
+  // Resident views skip the involution; see run_ours1_1d.
+  const bool resident = a.layout() == Layout::Transposed;
+  if (!resident) grid_transpose_layout<W>(a);
+  StagedSource1D<W> ks(k);
+  const double* kk = ks.data;
 
   // Scratch for the stepwise boundary-ring correction (width 2r frames).
   const auto f1segs = frame_segs(n, std::min(2 * r, n));
@@ -360,7 +358,7 @@ void run_ours2_1d(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
     std::swap(cur, nxt);
   }
   if (cur != &a) copy_interior(*cur, a);
-  grid_transpose_layout<W>(a);
+  if (!resident) grid_transpose_layout<W>(a);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,14 +392,21 @@ const KernelRegistrar reg1d{{
     kernel1d_info(Method::DLT, Isa::Scalar, 1, 1, &run_dlt1d<1>),
     kernel1d_info(Method::DLT, Isa::Avx2, 4, 1, &run_dlt1d<4>),
     kernel1d_info(Method::DLT, Isa::Avx512, 8, 1, &run_dlt1d<8>),
-    kernel1d_info(Method::Ours, Isa::Scalar, 1, 1, &run_ours1_1d<1>, 0, 1, 1),
-    kernel1d_info(Method::Ours, Isa::Avx2, 4, 1, &run_ours1_1d<4>, 0, 4, 4),
-    kernel1d_info(Method::Ours, Isa::Avx512, 8, 1, &run_ours1_1d<8>, 0, 8, 8),
+    // The transpose-layout methods keep field data in Layout::Transposed
+    // between steps, so they declare it as their preferred resident layout
+    // (transposed-tagged views skip the per-call involution).
+    kernel1d_info(Method::Ours, Isa::Scalar, 1, 1, &run_ours1_1d<1>, 0, 1, 1,
+                  Layout::Transposed),
+    kernel1d_info(Method::Ours, Isa::Avx2, 4, 1, &run_ours1_1d<4>, 0, 4, 4,
+                  Layout::Transposed),
+    kernel1d_info(Method::Ours, Isa::Avx512, 8, 1, &run_ours1_1d<8>, 0, 8, 8,
+                  Layout::Transposed),
     kernel1d_info(Method::Ours2, Isa::Scalar, 1, 2, &run_ours2_1d<1>, 0, -1,
                   -1),
-    kernel1d_info(Method::Ours2, Isa::Avx2, 4, 2, &run_ours2_1d<4>, 0, 2, 2),
-    kernel1d_info(Method::Ours2, Isa::Avx512, 8, 2, &run_ours2_1d<8>, 0, 4,
-                  4),
+    kernel1d_info(Method::Ours2, Isa::Avx2, 4, 2, &run_ours2_1d<4>, 0, 2, 2,
+                  Layout::Transposed),
+    kernel1d_info(Method::Ours2, Isa::Avx512, 8, 2, &run_ours2_1d<8>, 0, 4, 4,
+                  Layout::Transposed),
 }};
 
 }  // namespace

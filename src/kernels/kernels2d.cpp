@@ -250,8 +250,13 @@ void run_ours1_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
     run_naive2d(p, a, b, tsteps);
     return;
   }
-  grid_transpose_layout<W>(a);
-  grid_transpose_layout<W>(b);  // halo rows of the scratch grid are read too
+  // Transposed-resident views (core/engine.hpp) are already in layout on
+  // both ping-pong buffers: skip the per-call involution entirely.
+  const bool resident = a.layout() == Layout::Transposed;
+  if (!resident) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);  // halo rows of the scratch grid are read too
+  }
 
   const FieldView2D* cur = &a;
   const FieldView2D* nxt = &b;
@@ -260,8 +265,10 @@ void run_ours1_2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
     std::swap(cur, nxt);
   }
   if (cur != &a) copy_interior(*cur, a);
-  grid_transpose_layout<W>(a);
-  grid_transpose_layout<W>(b);  // leave the scratch grid as we found it
+  if (!resident) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);  // leave the scratch grid as we found it
+  }
 }
 
 // Explicit instantiations used by the registry and the tiling framework.
@@ -329,12 +336,14 @@ const KernelRegistrar reg2d{{
     kernel2d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt2d<8>, 0, 0,
                   0),
     // step_rows_tl2d's row-vector scratch caps the radius at min(W, 4).
+    // Preferred layout Transposed: resident views skip the per-call
+    // involution (see run_ours1_2d).
     kernel2d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_2d<1>,
-                  0, 1, 1),
+                  0, 1, 1, Layout::Transposed),
     kernel2d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_2d<4>, 0,
-                  4, 4),
+                  4, 4, Layout::Transposed),
     kernel2d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_2d<8>,
-                  0, 4, 4),
+                  0, 4, 4, Layout::Transposed),
 }};
 
 }  // namespace

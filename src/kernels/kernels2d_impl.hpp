@@ -1,6 +1,13 @@
 // Internal declarations shared between kernels2d.cpp (baselines + 1-step
 // transpose layout) and folded2d.cpp (temporal folding). Not part of the
 // public API.
+//
+// Layout contract of the run_* entry points: views tagged Layout::Natural
+// are transformed into the kernel's working layout on entry and back on
+// exit; views tagged with the kernel's preferred layout (Transposed for
+// run_ours1_2d — see KernelInfo::preferred_layout) are executed in place
+// with the per-call involution skipped. The step_/advance region functions
+// below always require data already in the working layout.
 #pragma once
 
 #include "fold/folding_plan.hpp"

@@ -249,8 +249,13 @@ void run_ours1_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
     run_naive3d(p, a, b, tsteps);
     return;
   }
-  grid_transpose_layout<W>(a);
-  grid_transpose_layout<W>(b);
+  // Transposed-resident views skip the per-call involution (see
+  // run_ours1_2d).
+  const bool resident = a.layout() == Layout::Transposed;
+  if (!resident) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  }
 
   const FieldView3D* cur = &a;
   const FieldView3D* nxt = &b;
@@ -259,8 +264,10 @@ void run_ours1_3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
     std::swap(cur, nxt);
   }
   if (cur != &a) copy_interior(*cur, a);
-  grid_transpose_layout<W>(a);
-  grid_transpose_layout<W>(b);
+  if (!resident) {
+    grid_transpose_layout<W>(a);
+    grid_transpose_layout<W>(b);
+  }
 }
 
 template void run_ml3d<1>(const Pattern3D&, const FieldView3D&, const FieldView3D&, int);
@@ -325,12 +332,14 @@ const KernelRegistrar reg3d{{
     kernel3d_info(Method::DLT, Isa::Avx512, 8, 1, &detail::run_dlt3d<8>, 0, 0,
                   0),
     // step_planes_tl3d's row-group scratch caps the radius at min(W, 2).
+    // Preferred layout Transposed: resident views skip the per-call
+    // involution (see run_ours1_3d).
     kernel3d_info(Method::Ours, Isa::Scalar, 1, 1, &detail::run_ours1_3d<1>,
-                  0, 1, 1),
+                  0, 1, 1, Layout::Transposed),
     kernel3d_info(Method::Ours, Isa::Avx2, 4, 1, &detail::run_ours1_3d<4>, 0,
-                  2, 2),
+                  2, 2, Layout::Transposed),
     kernel3d_info(Method::Ours, Isa::Avx512, 8, 1, &detail::run_ours1_3d<8>,
-                  0, 2, 2),
+                  0, 2, 2, Layout::Transposed),
 }};
 
 }  // namespace

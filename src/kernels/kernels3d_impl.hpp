@@ -1,4 +1,10 @@
 // Internal declarations shared between kernels3d.cpp and folded3d.cpp.
+//
+// Layout contract of the run_* entry points: Natural-tagged views are
+// transformed in/out per call; views tagged with the kernel's preferred
+// layout (Transposed for run_ours1_3d) execute in place with the involution
+// skipped. The step_/advance region functions always require data already
+// in the working layout.
 #pragma once
 
 #include <vector>

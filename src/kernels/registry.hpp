@@ -39,8 +39,8 @@
 namespace sf {
 
 /// One registered kernel: an executor function plus the capability metadata
-/// (halo, fold depth, radius range, tileability) the Solver and the
-/// ExecutionPlan negotiate against.
+/// (halo, fold depth, radius range, tileability, preferred memory layout)
+/// the Solver and the ExecutionPlan negotiate against.
 struct KernelInfo {
   const char* name;  ///< String key, e.g. "ours-2step" (method_name(method)).
   Method method;     ///< Vectorization/folding strategy this entry implements.
@@ -59,6 +59,14 @@ struct KernelInfo {
                          ///< vector window, so their tiled range mirrors
                          ///< max_radius; DLT has no 1-D tiled stage (the
                          ///< lifted seam couples distant columns).
+  Layout preferred_layout = Layout::Natural;
+  ///< Memory layout the optimized path keeps field data in between time
+  ///< steps (Layout::Transposed for the register-transpose kernels). A
+  ///< kernel whose preference is non-Natural transforms Natural input on
+  ///< entry and back on exit — or skips both when the caller hands it views
+  ///< already tagged with this layout (transposed-resident execution, see
+  ///< core/engine.hpp). Only meaningful while supports(radius) holds; the
+  ///< fallback paths are Natural-only.
 
   Run1D run1 = nullptr;  ///< 1-D executor (non-null iff dims == 1).
   Run2D run2 = nullptr;  ///< 2-D executor (non-null iff dims == 2).
@@ -89,6 +97,14 @@ struct KernelInfo {
   /// levels, so their slope doubles (fold_depth * radius) — one folded
   /// super-step covers m plain time steps.
   int wedge_slope(int radius) const { return fold_depth * radius; }
+
+  /// The layout this kernel keeps resident fields in for a radius-r
+  /// pattern: preferred_layout while the optimized path engages
+  /// (supports(radius)), Layout::Natural otherwise — the internal fallback
+  /// paths never transform, so resident execution must not engage either.
+  Layout resident_layout(int radius) const {
+    return supports(radius) ? preferred_layout : Layout::Natural;
+  }
 };
 
 /// Process-wide table of registered kernels. Executor TUs add entries at
@@ -159,35 +175,42 @@ struct KernelRegistrar {
 /// Builds a 1-D KernelInfo, keeping registration lines short. `halo_floor`
 /// and `max_radius` default to the common case (no extra halo, any radius);
 /// `tiled_max_radius` defaults to "no tiled stage" so a kernel must opt in
-/// to split tiling explicitly.
+/// to split tiling explicitly, and `preferred` defaults to Natural so a
+/// kernel must declare its resident layout explicitly too.
 inline KernelInfo kernel1d_info(Method m, Isa isa, int width, int fold,
                                 Run1D fn, int halo_floor = 0,
                                 int max_radius = 0,
-                                int tiled_max_radius = -1) {
+                                int tiled_max_radius = -1,
+                                Layout preferred = Layout::Natural) {
   return KernelInfo{method_name(m), m,          1,
                     isa,            width,      fold,
                     halo_floor,     max_radius, tiled_max_radius,
-                    fn,             nullptr,    nullptr};
+                    preferred,      fn,         nullptr,
+                    nullptr};
 }
 /// 2-D counterpart of kernel1d_info().
 inline KernelInfo kernel2d_info(Method m, Isa isa, int width, int fold,
                                 Run2D fn, int halo_floor = 0,
                                 int max_radius = 0,
-                                int tiled_max_radius = -1) {
+                                int tiled_max_radius = -1,
+                                Layout preferred = Layout::Natural) {
   return KernelInfo{method_name(m), m,          2,
                     isa,            width,      fold,
                     halo_floor,     max_radius, tiled_max_radius,
-                    nullptr,        fn,         nullptr};
+                    preferred,      nullptr,    fn,
+                    nullptr};
 }
 /// 3-D counterpart of kernel1d_info().
 inline KernelInfo kernel3d_info(Method m, Isa isa, int width, int fold,
                                 Run3D fn, int halo_floor = 0,
                                 int max_radius = 0,
-                                int tiled_max_radius = -1) {
+                                int tiled_max_radius = -1,
+                                Layout preferred = Layout::Natural) {
   return KernelInfo{method_name(m), m,          3,
                     isa,            width,      fold,
                     halo_floor,     max_radius, tiled_max_radius,
-                    nullptr,        nullptr,    fn};
+                    preferred,      nullptr,    nullptr,
+                    fn};
 }
 
 }  // namespace sf

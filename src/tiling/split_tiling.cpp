@@ -192,18 +192,14 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   const Method mth = opt.method;
   const int m = mth == Method::Ours2 ? 2 : 1;
 
-  // Layout setup.
-  Grid1D kd(k != nullptr ? k->n() : 1, k != nullptr ? k->halo() : 1);
-  const double* kk = nullptr;
+  // Layout setup. Transposed-resident views (core/engine.hpp) are already
+  // in layout — skip the per-run involution, and read a resident source
+  // array zero-copy instead of through a transformed private copy.
   const bool tl = mth == Method::Ours || mth == Method::Ours2;
-  if (k != nullptr) {
-    copy(*k, kd);
-    kk = kd.data();
-  }
-  if (tl) {
-    grid_transpose_layout<W>(a);
-    if (k != nullptr) grid_transpose_layout<W>(kd);
-  }
+  const bool resident = tl && a.layout() == Layout::Transposed;
+  StagedSource1D<W> ks(k, /*to_layout=*/tl);
+  const double* kk = ks.data;
+  if (tl && !resident) grid_transpose_layout<W>(a);
 
   const Pattern1D lam = power(p, 2);
   Pattern1D fsrc;
@@ -255,7 +251,7 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   }
   if (cursor != 0) copy_interior(b, a);
 
-  if (tl) grid_transpose_layout<W>(a);
+  if (tl && !resident) grid_transpose_layout<W>(a);
 }
 
 // ---------------------------------------------------------------------------
@@ -271,7 +267,8 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
 
   const bool tl = mth == Method::Ours;
   const bool dlt = mth == Method::DLT;
-  if (tl) {
+  const bool resident = tl && a.layout() == Layout::Transposed;
+  if (tl && !resident) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {
@@ -321,7 +318,7 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
   }
   if (cursor != 0) copy_interior(b, a);
 
-  if (tl) {
+  if (tl && !resident) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {
@@ -343,7 +340,8 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
 
   const bool tl = mth == Method::Ours;
   const bool dlt = mth == Method::DLT;
-  if (tl) {
+  const bool resident = tl && a.layout() == Layout::Transposed;
+  if (tl && !resident) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {
@@ -396,7 +394,7 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
   }
   if (cursor != 0) copy_interior(b, a);
 
-  if (tl) {
+  if (tl && !resident) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {

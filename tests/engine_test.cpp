@@ -294,6 +294,330 @@ TEST(Engine, RejectsPartiallyOverlappingViews) {
 }
 
 // ---------------------------------------------------------------------------
+// Transposed-resident execution: validation, bitwise agreement with the
+// per-call-transform path, and the layout conversion helpers.
+// ---------------------------------------------------------------------------
+
+// Max |diff| between the per-call-transform path and the transposed-
+// resident path on identically-seeded caller-owned grids. Dimension-generic
+// like the Solver comparison above.
+double resident_vs_percall(const StencilSpec& spec, Method m, int tsteps) {
+  ExecOptions opts;
+  opts.method = m;
+  opts.tiling = Tiling::Off;
+  opts.tsteps = tsteps;
+  PreparedStencil natural = Engine::instance().prepare(spec, {}, opts);
+  opts.layout = Layout::Transposed;
+  PreparedStencil res = Engine::instance().prepare(spec, {}, opts);
+  EXPECT_EQ(res.resident_layout(), Layout::Transposed);
+  const int h = natural.halo();
+
+  if (spec.dims == 1) {
+    const int n = static_cast<int>(natural.nx());
+    Grid1D a(n, h), b(n, h), ra(n, h), rb(n, h);
+    fill_random(a, 3);
+    copy(a, b);
+    copy(a, ra);
+    copy(a, rb);
+    if (spec.has_source) {
+      Grid1D k(n, h), rk(n, h);
+      fill_random(k, 4);
+      copy(k, rk);
+      natural.run(a.view(), b.view(), k.view(), tsteps);
+      auto rav = to_resident_layout(res, ra.view());
+      auto rbv = to_resident_layout(res, rb.view());
+      auto rkv = to_resident_layout(res, rk.view());
+      res.run(rav, rbv, rkv, tsteps);
+      to_natural_layout(res, rav);
+    } else {
+      natural.run(a.view(), b.view(), tsteps);
+      auto rav = to_resident_layout(res, ra.view());
+      auto rbv = to_resident_layout(res, rb.view());
+      res.run(rav, rbv, tsteps);
+      to_natural_layout(res, rav);
+    }
+    return max_abs_diff(a, ra);
+  }
+  if (spec.dims == 2) {
+    const int nx = static_cast<int>(natural.nx());
+    const int ny = static_cast<int>(natural.ny());
+    Grid2D a(ny, nx, h), b(ny, nx, h), ra(ny, nx, h), rb(ny, nx, h);
+    fill_random(a, 3);
+    copy(a, b);
+    copy(a, ra);
+    copy(a, rb);
+    natural.run(a.view(), b.view(), tsteps);
+    auto rav = to_resident_layout(res, ra.view());
+    auto rbv = to_resident_layout(res, rb.view());
+    res.run(rav, rbv, tsteps);
+    to_natural_layout(res, rav);
+    return max_abs_diff(a, ra);
+  }
+  const int nx = static_cast<int>(natural.nx());
+  const int ny = static_cast<int>(natural.ny());
+  const int nz = static_cast<int>(natural.nz());
+  Grid3D a(nz, ny, nx, h), b(nz, ny, nx, h);
+  Grid3D ra(nz, ny, nx, h), rb(nz, ny, nx, h);
+  fill_random(a, 3);
+  copy(a, b);
+  copy(a, ra);
+  copy(a, rb);
+  natural.run(a.view(), b.view(), tsteps);
+  auto rav = to_resident_layout(res, ra.view());
+  auto rbv = to_resident_layout(res, rb.view());
+  res.run(rav, rbv, tsteps);
+  to_natural_layout(res, rav);
+  return max_abs_diff(a, ra);
+}
+
+TEST(ResidentLayout, BitwiseMatchesPerCallTransform) {
+  // Every transpose-capable preset x method: the resident path must agree
+  // bitwise with the per-call-transform path (identical arithmetic, the
+  // involution merely hoisted out of the calls). Odd horizon exercises the
+  // folded kernels' remainder step too.
+  int covered = 0;
+  for (const StencilSpec& spec : all_presets()) {
+    for (Method m : {Method::Ours, Method::Ours2}) {
+      const KernelInfo* k = find_kernel(m, spec.dims, Isa::Auto);
+      if (k == nullptr ||
+          k->resident_layout(effective_radius(spec)) != Layout::Transposed)
+        continue;
+      EXPECT_EQ(resident_vs_percall(spec, m, 5), 0.0)
+          << spec.name << " / " << method_name(m);
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 9);  // ours in 1/2/3-D covers all nine presets
+}
+
+TEST(ResidentLayout, ResidentAdvanceStreamMatchesOneRun) {
+  // The target scenario: a stream of short advances on resident buffers
+  // equals one long natural-layout run.
+  ExecOptions opts;
+  opts.method = Method::Ours;
+  opts.tiling = Tiling::Off;
+  opts.tsteps = 1;
+  PreparedStencil natural =
+      Engine::instance().prepare(Preset::Heat2D, Extents{96, 80}, opts);
+  opts.layout = Layout::Transposed;
+  PreparedStencil res =
+      Engine::instance().prepare(Preset::Heat2D, Extents{96, 80}, opts);
+  const int h = res.halo();
+  Grid2D a(80, 96, h), b(80, 96, h), ra(80, 96, h), rb(80, 96, h);
+  fill_random(a, 9);
+  copy(a, b);
+  copy(a, ra);
+  copy(a, rb);
+  auto av = to_resident_layout(res, a.view());
+  auto bv = to_resident_layout(res, b.view());
+  for (int t = 0; t < 8; ++t) res.advance(av, bv, 1);
+  to_natural_layout(res, av);
+  for (int t = 0; t < 8; ++t) natural.run(ra.view(), rb.view(), 1);
+  EXPECT_EQ(max_abs_diff(a, ra), 0.0);
+}
+
+TEST(ResidentLayout, ValidationTable) {
+  ExecOptions opts;
+  opts.method = Method::Ours;
+  opts.tiling = Tiling::Off;
+  PreparedStencil natural =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_EQ(natural.preferred_layout(), Layout::Transposed);
+  EXPECT_EQ(natural.resident_layout(), Layout::Natural);
+  opts.layout = Layout::Transposed;
+  PreparedStencil res =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_EQ(res.preferred_layout(), Layout::Transposed);
+  EXPECT_EQ(res.resident_layout(), Layout::Transposed);
+  const int h = res.halo();
+  Grid2D a(48, 64, h), b(48, 64, h);
+  fill_random(a, 1);
+  copy(a, b);
+
+  // Natural-only handle still rejects resident tags (historical contract).
+  EXPECT_THROW(
+      natural.run(a.view().with_layout(Layout::Transposed),
+                  b.view().with_layout(Layout::Transposed), 1),
+      std::invalid_argument);
+  // Resident handle accepts both natural and transposed pairs...
+  res.run(a.view(), b.view(), 1);
+  auto av = to_resident_layout(res, a.view());
+  auto bv = to_resident_layout(res, b.view());
+  res.run(av, bv, 1);
+  // ...but never a mixed pair or a foreign layout tag.
+  EXPECT_THROW(res.run(av, b.view().with_layout(Layout::Natural), 1),
+               std::invalid_argument);
+  EXPECT_THROW(res.run(av.with_layout(Layout::DLT), bv, 1),
+               std::invalid_argument);
+  // The transforms permute differently per SIMD width, so a resident tag
+  // must carry the width it was built with: a hand-tag that dropped it
+  // (width 0) or recorded another kernel's width is rejected, never
+  // silently misread.
+  EXPECT_THROW(res.run(av.with_layout(Layout::Transposed), bv, 1),
+               std::invalid_argument);
+  const int other_w = res.kernel().width == 8 ? 4 : 8;
+  EXPECT_THROW(
+      res.run(av.with_layout(Layout::Transposed, other_w), bv, 1),
+      std::invalid_argument);
+  to_natural_layout(res, av);
+  to_natural_layout(res, bv);
+
+  // Preparing a resident layout the kernel does not keep must throw.
+  ExecOptions bad;
+  bad.method = Method::MultipleLoads;
+  bad.layout = Layout::Transposed;
+  EXPECT_THROW(
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, bad),
+      std::invalid_argument);
+  bad.method = Method::Ours;
+  bad.layout = Layout::DLT;
+  EXPECT_THROW(
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, bad),
+      std::invalid_argument);
+}
+
+TEST(ResidentLayout, ConversionHelpersAreIdempotentInvolutions) {
+  ExecOptions opts;
+  opts.method = Method::Ours;
+  opts.layout = Layout::Transposed;
+  PreparedStencil res =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 40}, opts);
+  const int h = res.halo();
+  Grid2D g(40, 72, h), ref(40, 72, h);
+  fill_random(g, 21);
+  copy(g, ref);
+  auto v = to_resident_layout(res, g.view());
+  EXPECT_EQ(v.layout(), Layout::Transposed);
+  auto v2 = to_resident_layout(res, v);  // idempotent: no second transform
+  EXPECT_EQ(v2.layout(), Layout::Transposed);
+  auto back = to_natural_layout(res, v2);
+  EXPECT_EQ(back.layout(), Layout::Natural);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0);  // involution round-trip
+  // A resident view transformed at another kernel's width must be refused
+  // by both conversion directions — un-transposing W=4-permuted bytes with
+  // a W=8 pattern would scramble them undetectably.
+  const int other_w = res.kernel().width == 8 ? 4 : 8;
+  auto foreign = g.view().with_layout(Layout::Transposed, other_w);
+  EXPECT_THROW(to_natural_layout(res, foreign), std::invalid_argument);
+  EXPECT_THROW(to_resident_layout(res, foreign), std::invalid_argument);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0);  // untouched by the refusals
+  // Natural-preferring kernels: conversion is the identity.
+  ExecOptions ml;
+  ml.method = Method::MultipleLoads;
+  PreparedStencil pml =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 40}, ml);
+  auto nv = to_resident_layout(pml, g.view());
+  EXPECT_EQ(nv.layout(), Layout::Natural);
+  EXPECT_EQ(max_abs_diff(g, ref), 0.0);
+}
+
+TEST(Solver, ResidentLayoutOptInIsBitwiseIdentical) {
+  for (Preset p : {Preset::Heat1D, Preset::Heat2D, Preset::Heat3D}) {
+    Solver def = Solver::make(p).method(Method::Ours).tiling(Tiling::Off);
+    Solver res = Solver::make(p)
+                     .method(Method::Ours)
+                     .tiling(Tiling::Off)
+                     .resident_layout(true);
+    def.run();
+    res.run();
+    const Workspace& wd = def.workspace();
+    const Workspace& wr = res.workspace();
+    double diff = 0;
+    if (def.spec().dims == 1)
+      diff = max_abs_diff(*wd.a1, *wr.a1);
+    else if (def.spec().dims == 2)
+      diff = max_abs_diff(*wd.a2, *wr.a2);
+    else
+      diff = max_abs_diff(*wd.a3, *wr.a3);
+    EXPECT_EQ(diff, 0.0) << def.spec().name;
+  }
+}
+
+TEST(Solver, ResidentLayoutSurvivesTunePass) {
+  // The tuning pass stores a geometry and re-prepares; the replacement
+  // handle must keep accepting resident views (regression: the re-prepare
+  // once used the bare options, silently dropping the resident opt-in and
+  // putting the per-call transform back inside the timed region).
+  Solver s = Solver::make(Preset::Heat2D)
+                 .size(96, 80)
+                 .steps(16)
+                 .method(Method::Ours)
+                 .tiling(Tiling::On)
+                 .threads(2)
+                 .tune(true)
+                 .resident_layout(true);
+  s.resolve();
+  ASSERT_TRUE(s.plan().tiled && s.plan().blocked)
+      << "geometry no longer blocks; pick a shape the tuner measures";
+  ASSERT_EQ(s.prepared().resident_layout(), Layout::Transposed);
+  s.run();
+  EXPECT_EQ(s.plan().source, PlanSource::Tuned);  // the pass actually fired
+  EXPECT_EQ(s.prepared().resident_layout(), Layout::Transposed);
+}
+
+// ---------------------------------------------------------------------------
+// Halo policy: the Clean fast path matches the sync'd path when b's halo
+// is in fact unchanged (always true between advances: kernels never write
+// halos).
+// ---------------------------------------------------------------------------
+
+TEST(Engine, HaloCleanMatchesSyncedPath) {
+  ExecOptions opts;
+  opts.tsteps = 4;
+  PreparedStencil synced =
+      Engine::instance().prepare(Preset::Heat2D, Extents{80, 64}, opts);
+  opts.halo_policy = HaloPolicy::Clean;
+  PreparedStencil clean =
+      Engine::instance().prepare(Preset::Heat2D, Extents{80, 64}, opts);
+  EXPECT_EQ(synced.halo_policy(), HaloPolicy::Sync);
+  EXPECT_EQ(clean.halo_policy(), HaloPolicy::Clean);
+  const int h = synced.halo();
+
+  Grid2D sa(64, 80, h), sb(64, 80, h), ca(64, 80, h), cb(64, 80, h);
+  fill_random(sa, 13);
+  copy(sa, sb);  // halos equal on both pairs: Clean's precondition holds
+  copy(sa, ca);
+  copy(sa, cb);
+  for (int t = 0; t < 6; ++t) {
+    synced.advance(sa.view(), sb.view(), 1);
+    clean.advance(ca.view(), cb.view(), 1);
+  }
+  EXPECT_EQ(max_abs_diff(sa, ca), 0.0);
+}
+
+TEST(Engine, HaloCleanResidentStreamMatchesSyncedNatural) {
+  // The bench's headline streaming mode — transposed-resident buffers plus
+  // HaloPolicy::Clean — must agree bitwise with the safe configuration
+  // (natural views, per-call halo sync): the halo stays a fixed point of
+  // both the kernels and the transform's x-permutation across the stream.
+  ExecOptions opts;
+  opts.method = Method::Ours;
+  opts.tiling = Tiling::Off;
+  opts.tsteps = 1;
+  PreparedStencil synced =
+      Engine::instance().prepare(Preset::Box2D9, Extents{96, 64}, opts);
+  opts.layout = Layout::Transposed;
+  opts.halo_policy = HaloPolicy::Clean;
+  PreparedStencil resclean =
+      Engine::instance().prepare(Preset::Box2D9, Extents{96, 64}, opts);
+  const int h = synced.halo();
+
+  Grid2D sa(64, 96, h), sb(64, 96, h), ca(64, 96, h), cb(64, 96, h);
+  fill_random(sa, 19);
+  copy(sa, sb);
+  copy(sa, ca);
+  copy(sa, cb);
+  auto cav = to_resident_layout(resclean, ca.view());
+  auto cbv = to_resident_layout(resclean, cb.view());
+  for (int t = 0; t < 7; ++t) {
+    synced.advance(sa.view(), sb.view(), 1);
+    resclean.advance(cav, cbv, 1);
+  }
+  to_natural_layout(resclean, cav);
+  EXPECT_EQ(max_abs_diff(sa, ca), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Plan cache: identical requests share one prepared state.
 // ---------------------------------------------------------------------------
 
@@ -315,19 +639,61 @@ TEST(Engine, PlanCacheSharesPreparedState) {
   EXPECT_NE(&p1.plan(), &p3.plan());
 }
 
-TEST(Engine, PlanCacheEvictsStaleTunerGenerations) {
-  // A TuneCache store bumps the generation, making older cached plans
-  // permanently unmatchable; re-preparing must replace them, not leak.
+TEST(Engine, PlanCacheSurvivesUnrelatedTuneStore) {
+  // Plan-cache invalidation is per-key: tuning one configuration must not
+  // evict prepared handles whose own TuneCache lookup is unchanged. A
+  // store for a far-away shape leaves this preparation's lookup result
+  // identical, so re-preparing is a cache hit on the same state.
   ExecOptions opts;
   opts.tsteps = 16;
-  Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  PreparedStencil before =
+      Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
   const std::size_t after_insert = Engine::instance().plan_cache_size();
   const KernelInfo& k = require_kernel(Method::Ours2, 2);
   TuneCache::instance().store(make_tune_key(k, 1, 8192, 8192, 1, 1000, 64),
                               TunedGeometry{512, 32});
-  Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
-  // Stale-generation entries were evicted on insert: no net growth.
-  EXPECT_LE(Engine::instance().plan_cache_size(), after_insert);
+  const long hits = Engine::instance().plan_cache_hits();
+  PreparedStencil after =
+      Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  EXPECT_EQ(Engine::instance().plan_cache_hits(), hits + 1);
+  EXPECT_EQ(&before.plan(), &after.plan());  // same shared prepared state
+  EXPECT_LE(Engine::instance().plan_cache_size(), after_insert);  // no leak
+}
+
+TEST(Engine, PlanCacheInvalidatesOnlyTheTunedKey) {
+  // Two tiled preparations with distinct tune keys; a store matching the
+  // first one's configuration re-plans it (and recalls the tuned geometry)
+  // while the second survives in cache untouched.
+  ExecOptions opts;
+  opts.tiling = Tiling::On;
+  opts.tsteps = 16;
+  PreparedStencil pa =
+      Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  PreparedStencil pb =
+      Engine::instance().prepare(Preset::Box2D9, Extents{100, 90}, opts);
+  ASSERT_TRUE(pa.plan().tiled);
+  ASSERT_TRUE(pb.plan().tiled);
+
+  // Tune exactly pa's configuration (its kernel/radius/shape/horizon at
+  // the negotiated thread count).
+  TuneCache::instance().store(
+      make_tune_key(pa.kernel(), 1, 112, 96, 1, 16, pa.plan().tile.threads),
+      TunedGeometry{32, 4});
+
+  // pb's key (different shape bucket) was untouched: served from cache.
+  const long hits = Engine::instance().plan_cache_hits();
+  PreparedStencil pb2 =
+      Engine::instance().prepare(Preset::Box2D9, Extents{100, 90}, opts);
+  EXPECT_EQ(Engine::instance().plan_cache_hits(), hits + 1);
+  EXPECT_EQ(&pb.plan(), &pb2.plan());
+
+  // pa's key changed: its stale entry is dropped, the re-preparation plans
+  // afresh and recalls the just-stored geometry.
+  PreparedStencil pa2 =
+      Engine::instance().prepare(Preset::Heat2D, Extents{112, 96}, opts);
+  EXPECT_NE(&pa.plan(), &pa2.plan());
+  EXPECT_EQ(pa2.plan().source, PlanSource::Cached);
+  EXPECT_EQ(pa2.plan().tile.tile, 32);
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +729,43 @@ TEST(TuneBuckets, NearbyShapesHitExactShapesWin) {
   cache.store(nearby, TunedGeometry{512, 32});
   EXPECT_EQ(cache.lookup_rounded(nearby)->tile, 512);
   EXPECT_EQ(cache.lookup_rounded(exact)->tile, 640);
+}
+
+TEST(TuneBuckets, BucketedLookupsNeverCrossKernelOrRadiusKeys) {
+  // Shape/horizon round into buckets; kernel identity (name + ISA + dims)
+  // and radius must stay exact — a bucketed hit for another kernel's (or
+  // another radius's) geometry would deploy a wedge slope negotiated for
+  // different reads.
+  TuneCache cache;
+  const KernelInfo& ours2 = require_kernel(Method::Ours2, 2);
+  const KernelInfo& ours = require_kernel(Method::Ours, 2);
+  cache.store(make_tune_key(ours2, 1, 4000, 4000, 1, 500, 4),
+              TunedGeometry{640, 64});
+  // Identical shape/threads, different kernel: no cross-match, either way.
+  EXPECT_FALSE(
+      cache.lookup_rounded(make_tune_key(ours, 1, 4000, 4000, 1, 500, 4))
+          .has_value());
+  cache.store(make_tune_key(ours, 1, 4000, 4000, 1, 500, 4),
+              TunedGeometry{320, 16});
+  EXPECT_EQ(
+      cache.lookup_rounded(make_tune_key(ours2, 1, 4010, 3990, 1, 500, 4))
+          ->tile,
+      640);
+  EXPECT_EQ(
+      cache.lookup_rounded(make_tune_key(ours, 1, 4010, 3990, 1, 500, 4))
+          ->tile,
+      320);
+  // Same kernel, different radius: bucketed shapes never bridge it.
+  EXPECT_FALSE(
+      cache.lookup_rounded(make_tune_key(ours2, 2, 4010, 3990, 1, 500, 4))
+          .has_value());
+  // Same kernel at another ISA level is a different kernel identity too.
+  const KernelInfo* ours2_scalar = find_kernel(Method::Ours2, 2, Isa::Scalar);
+  ASSERT_NE(ours2_scalar, nullptr);
+  EXPECT_FALSE(cache
+                   .lookup_rounded(make_tune_key(*ours2_scalar, 1, 4010,
+                                                 3990, 1, 500, 4))
+                   .has_value());
 }
 
 }  // namespace

@@ -147,5 +147,128 @@ TEST(DltLayout, RoundTrip3D) {
   EXPECT_EQ(max_abs_diff(g, ref), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Property tests over *views*: the transforms are used on caller-owned
+// buffers through FieldViews (transposed-resident execution), so the
+// involution/round-trip identities must hold for odd extents, halo
+// rows/planes, and non-contiguous row strides — and must never touch bytes
+// outside the view's addressable span.
+// ---------------------------------------------------------------------------
+
+// A 2-D view narrower than its allocation: rows are nx_view wide but
+// stride_ apart, with untouched padding columns between nx_view + halo and
+// the next row.
+struct StridedField2D {
+  Grid2D backing;
+  FieldView2D view;
+  StridedField2D(int ny, int nx_view, int halo, int pad)
+      : backing(ny, nx_view + pad, halo),
+        view(backing.data(), ny, nx_view, backing.stride(), halo) {}
+};
+
+TEST(TransposeLayout, InvolutionOverStridedViewsWithHalo) {
+  for (int nx : {64, 70, 61}) {  // exact blocks, tail, odd extent
+    StridedField2D f(6, nx, 4, 24);
+    fill_random(f.backing, 17);
+    Grid2D ref(6, nx + 24, 4);
+    copy(f.backing, ref);
+
+    apply_transpose_layout(f.view, 4);
+    // Halo rows are transformed with the interior; every row permutes by
+    // tl_index; the x-halo and all padding columns stay put.
+    for (int y = -4; y < 6 + 4; ++y)
+      for (int x = -4; x < nx + 24 + 4; ++x) {
+        if (x >= 0 && x < nx)  // interior: permuted by tl_index
+          EXPECT_DOUBLE_EQ(f.backing.at(y, tl_index<4>(x, nx)), ref.at(y, x))
+              << "nx=" << nx << " y=" << y << " x=" << x;
+        else  // halo and padding: identity
+          EXPECT_DOUBLE_EQ(f.backing.at(y, x), ref.at(y, x))
+              << "nx=" << nx << " y=" << y << " x=" << x;
+      }
+    // Involution: a second application restores every byte.
+    apply_transpose_layout(f.view, 4);
+    EXPECT_EQ(max_abs_diff(f.backing, ref), 0.0) << "nx=" << nx;
+    for (int y = -4; y < 6 + 4; ++y)
+      for (int x = -4; x < nx + 24 + 4; ++x)
+        EXPECT_DOUBLE_EQ(f.backing.at(y, x), ref.at(y, x));
+  }
+}
+
+TEST(TransposeLayout, InvolutionOverViews3DIncludingHaloPlanes) {
+  for (int nx : {32, 37}) {
+    Grid3D g(3, 4, nx, 2);
+    fill_random(g, 23);
+    Grid3D ref(3, 4, nx, 2);
+    copy(g, ref);
+    apply_transpose_layout(g.view(), 4);
+    // Halo planes/rows permute like interior ones (kernels read
+    // z/y-neighbours of boundary planes through layout-aware views).
+    for (int z = -2; z < 3 + 2; ++z)
+      for (int y = -2; y < 4 + 2; ++y)
+        for (int x = 0; x < nx; ++x)
+          EXPECT_DOUBLE_EQ(g.at(z, y, tl_index<4>(x, nx)), ref.at(z, y, x));
+    apply_transpose_layout(g.view(), 4);
+    EXPECT_EQ(max_abs_diff(g, ref), 0.0);
+    for (int z = -2; z < 3 + 2; ++z)
+      for (int y = -2; y < 4 + 2; ++y)
+        for (int x = -2; x < nx + 2; ++x)
+          EXPECT_DOUBLE_EQ(g.at(z, y, x), ref.at(z, y, x));
+  }
+}
+
+TEST(TransposeLayout, IndexMapIsItsOwnInverse) {
+  // tl_index is an involution on logical indices, including halo and tail.
+  for (int n : {16, 17, 64, 70, 100}) {
+    for (int i = -8; i < n + 8; ++i) {
+      EXPECT_EQ(tl_index<4>(tl_index<4>(i, n), n), i) << "n=" << n;
+      EXPECT_EQ(tl_index<8>(tl_index<8>(i, n), n), i) << "n=" << n;
+    }
+  }
+}
+
+TEST(DltLayout, RoundTripOverStridedViewsWithHalo) {
+  for (int nx : {64, 61}) {  // exact lift and odd extent with tail
+    StridedField2D f(5, nx, 4, 16);
+    fill_random(f.backing, 29);
+    Grid2D ref(5, nx + 16, 4);
+    copy(f.backing, ref);
+
+    grid_to_dlt(f.view, 4);
+    // Every row (halo rows included) lifts by dlt_index; halo columns and
+    // padding stay put.
+    for (int y = -4; y < 5 + 4; ++y) {
+      for (int x = 0; x < nx; ++x)
+        EXPECT_DOUBLE_EQ(f.backing.at(y, dlt_index(x, nx, 4)), ref.at(y, x))
+            << "nx=" << nx << " y=" << y << " x=" << x;
+      for (int x = -4; x < 0; ++x)
+        EXPECT_DOUBLE_EQ(f.backing.at(y, x), ref.at(y, x));
+      for (int x = nx; x < nx + 16 + 4; ++x)
+        EXPECT_DOUBLE_EQ(f.backing.at(y, x), ref.at(y, x));
+    }
+    grid_from_dlt(f.view, 4);
+    for (int y = -4; y < 5 + 4; ++y)
+      for (int x = -4; x < nx + 16 + 4; ++x)
+        EXPECT_DOUBLE_EQ(f.backing.at(y, x), ref.at(y, x))
+            << "nx=" << nx << " y=" << y << " x=" << x;
+  }
+}
+
+TEST(DltLayout, RoundTrip3DViewsIncludingHaloPlanes) {
+  Grid3D g(3, 4, 41, 2);
+  fill_random(g, 31);
+  Grid3D ref(3, 4, 41, 2);
+  copy(g, ref);
+  grid_to_dlt(g.view(), 4);
+  for (int z = -2; z < 3 + 2; ++z)
+    for (int y = -2; y < 4 + 2; ++y)
+      for (int x = 0; x < 41; ++x)
+        EXPECT_DOUBLE_EQ(g.at(z, y, dlt_index(x, 41, 4)), ref.at(z, y, x));
+  grid_from_dlt(g.view(), 4);
+  for (int z = -2; z < 3 + 2; ++z)
+    for (int y = -2; y < 4 + 2; ++y)
+      for (int x = -2; x < 41 + 2; ++x)
+        EXPECT_DOUBLE_EQ(g.at(z, y, x), ref.at(z, y, x));
+}
+
 }  // namespace
 }  // namespace sf
