@@ -1,13 +1,25 @@
 // Figure 10: scalability of the tiled methods from 1 core up to the
 // machine's hardware threads, for all nine benchmarks. One table per
 // stencil, one row per core count, matching the paper's nine panels.
+//
+// `--pinned` (or SF_AFFINITY=compact|scatter) runs every configuration
+// through the topology-pinned WorkerPool with first-touch workspaces —
+// each worker's tiles placed on its own NUMA node — which is the setup
+// under which the paper's near-linear scaling reproduces on multi-node
+// machines. Default remains unpinned (identical results; placement only
+// affects locality).
+#include <cstring>
 #include <iostream>
 
 #include "bench_util/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sf;
   const bool full = bench_full();
+  Affinity aff = env_affinity();
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--pinned") == 0 && aff == Affinity::None)
+      aff = Affinity::Compact;
   const int maxthreads = hardware_threads();
   std::vector<int> cores;
   for (int c = 1; c < maxthreads; c *= 2) cores.push_back(c);
@@ -15,21 +27,25 @@ int main() {
 
   const auto& methods = bench::paper_competitors();
 
-  std::vector<std::string> header{"cores"};
+  std::vector<std::string> header{"cores", "affinity"};
   for (const auto& m : methods) header.push_back(m.label);
 
   for (const auto& spec : all_presets()) {
     Table t(header);
-    std::cout << "Figure 10 (" << spec.name << "): GFLOP/s vs cores\n";
+    std::cout << "Figure 10 (" << spec.name << "): GFLOP/s vs cores"
+              << (aff != Affinity::None
+                      ? std::string(" [") + affinity_name(aff) + "]"
+                      : "")
+              << "\n";
     for (int c : cores) {
-      std::vector<std::string> row{std::to_string(c)};
+      std::vector<std::string> row{std::to_string(c), affinity_name(aff)};
       for (const auto& m : methods) {
         if (m.isa == Isa::Avx512 && !cpu_has_avx512()) {
           row.push_back("-");
           continue;
         }
         Solver s = bench::competitor_solver(m, spec, full);
-        s.threads(c);
+        s.threads(c).affinity(aff);
         row.push_back(Table::num(s.run().gflops));
       }
       t.add_row(row);

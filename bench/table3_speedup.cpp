@@ -1,13 +1,22 @@
 // Table 3: speedup over a single core at the machine's full thread count,
 // per stencil and method (the paper reports 36-core speedups; we use all
 // available hardware threads and report the count).
+//
+// `--pinned` (or SF_AFFINITY=compact|scatter) runs both ends of the ratio
+// through the topology-pinned WorkerPool with first-touch workspaces (see
+// fig10_scalability.cpp).
+#include <cstring>
 #include <iostream>
 
 #include "bench_util/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sf;
   const bool full = bench_full();
+  Affinity aff = env_affinity();
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--pinned") == 0 && aff == Affinity::None)
+      aff = Affinity::Compact;
   const int maxthreads = hardware_threads();
 
   const auto& methods = bench::paper_competitors();
@@ -16,7 +25,11 @@ int main() {
   for (const auto& spec : all_presets()) header.push_back(spec.name);
   Table t(header);
   std::cout << "Table 3: speedup over single core at " << maxthreads
-            << " threads\n";
+            << " threads"
+            << (aff != Affinity::None
+                    ? std::string(" [") + affinity_name(aff) + "]"
+                    : "")
+            << "\n";
   for (const auto& m : methods) {
     std::vector<std::string> row{m.label};
     for (const auto& spec : all_presets()) {
@@ -27,7 +40,7 @@ int main() {
       double g[2] = {0, 0};
       for (int i = 0; i < 2; ++i) {
         Solver s = bench::competitor_solver(m, spec, full);
-        s.threads(i == 0 ? 1 : maxthreads);
+        s.threads(i == 0 ? 1 : maxthreads).affinity(aff);
         g[i] = s.run().gflops;
       }
       row.push_back(Table::num(g[1] / g[0], 1) + "x");

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Render the fig8/fig9/fig10 CSV families written by the bench harnesses
+into PNGs — one command from sweep to figure.
+
+The harnesses (bench/fig8_blockfree.cpp, bench/fig9_multicore.cpp,
+bench/fig10_scalability.cpp) write `<name>-<stamp>.csv` into $SF_BENCH_OUT
+(default: the working directory). This script scans a directory for those
+families and renders one PNG per CSV next to it (or under --out):
+
+    SF_BENCH_OUT=results ./fig10_scalability --pinned
+    python3 scripts/plot_figures.py results
+
+Family conventions:
+  * fig8_*   — GFLOP/s vs problem size (log-x size sweep, one line/method);
+  * fig9_*   — GFLOP/s per method on the multicore configuration (bars);
+  * fig10_*  — GFLOP/s vs cores (one line per method, linear axes).
+
+Requires matplotlib; install it (`pip install matplotlib`) where you plot —
+the bench machines only need to produce the CSVs.
+"""
+
+import argparse
+import csv
+import os
+import re
+import sys
+
+# Matches the harness naming: <family>_<stencil>-<YYYYMMDD-HHMMSS>-p<pid>.csv
+FAMILY_RE = re.compile(r"^(fig8|fig9|fig10)_(.+)-(\d{8}-\d{6}-p\d+)\.csv$")
+
+
+def parse_csv(path):
+    """Returns (header, rows) with rows as lists of strings."""
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def to_float(cell):
+    """Numeric cell value, or None for non-GFLOP/s cells. fig9's auto
+    column annotates its number ('45.2:tiled' / '45.2:untiled') — keep the
+    number; '-' markers and '3.4x' speedup ratios (different units) become
+    None so their columns drop out of the GFLOP/s axes."""
+    try:
+        return float(cell.split(":")[0])
+    except ValueError:
+        return None
+
+
+def numeric_columns(header, rows):
+    """Yields (label, values) for every column after the first that has at
+    least one numeric value; values align with the first column."""
+    for c in range(1, len(header)):
+        vals = [to_float(r[c]) if c < len(r) else None for r in rows]
+        if any(v is not None for v in vals):
+            yield header[c], vals
+
+
+def plot_file(plt, path, out_dir):
+    name = os.path.basename(path)
+    m = FAMILY_RE.match(name)
+    if not m:
+        return None
+    family, stencil = m.group(1), m.group(2)
+    header, rows = parse_csv(path)
+    if not header or not rows:
+        print(f"  skipping {name}: empty table", file=sys.stderr)
+        return None
+
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    xlabels = [r[0] for r in rows]
+    xnum = [to_float(x) for x in xlabels]
+    numeric_x = all(v is not None for v in xnum)
+
+    if family == "fig9":
+        # One multicore configuration: grouped bars, one group per row.
+        series = list(numeric_columns(header, rows))
+        width = 0.8 / max(1, len(series))
+        for i, (label, vals) in enumerate(series):
+            xs = [j + i * width for j in range(len(rows))]
+            ax.bar(xs, [v if v is not None else 0 for v in vals],
+                   width=width, label=label)
+        ax.set_xticks([j + 0.4 - width / 2 for j in range(len(rows))])
+        ax.set_xticklabels(xlabels, rotation=30, ha="right", fontsize=8)
+    else:
+        for label, vals in numeric_columns(header, rows):
+            xs = xnum if numeric_x else list(range(len(rows)))
+            pts = [(x, v) for x, v in zip(xs, vals) if v is not None]
+            if not pts:
+                continue
+            ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                    marker="o", markersize=3, label=label)
+        if not numeric_x:
+            ax.set_xticks(list(range(len(rows))))
+            ax.set_xticklabels(xlabels, rotation=30, ha="right", fontsize=8)
+        if family == "fig8" and numeric_x:
+            ax.set_xscale("log")
+        ax.set_xlabel(header[0])
+
+    ax.set_ylabel("GFLOP/s")
+    ax.set_title(f"{family} — {stencil}")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+
+    out = os.path.join(out_dir, os.path.splitext(name)[0] + ".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render fig8/fig9/fig10 bench CSVs into PNGs.")
+    ap.add_argument("dir", nargs="?",
+                    default=os.environ.get("SF_BENCH_OUT", "."),
+                    help="directory holding the CSVs "
+                         "(default: $SF_BENCH_OUT or .)")
+    ap.add_argument("-o", "--out", default=None,
+                    help="output directory for PNGs (default: same as dir)")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")  # headless: no display needed on bench boxes
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_figures.py needs matplotlib "
+                 "(pip install matplotlib); the bench harnesses themselves "
+                 "do not — run them anywhere and plot where matplotlib is "
+                 "available.")
+
+    if not os.path.isdir(args.dir):
+        sys.exit(f"not a directory: {args.dir}")
+    out_dir = args.out or args.dir
+    os.makedirs(out_dir, exist_ok=True)
+
+    made = []
+    for name in sorted(os.listdir(args.dir)):
+        if FAMILY_RE.match(name):
+            out = plot_file(plt, os.path.join(args.dir, name), out_dir)
+            if out:
+                made.append(out)
+                print(f"wrote {out}")
+    if not made:
+        sys.exit(f"no fig8_*/fig9_*/fig10_* CSVs found in {args.dir} "
+                 "(run the bench harnesses with SF_BENCH_OUT set first)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,13 +20,19 @@ class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
-  explicit AlignedBuffer(std::size_t n) : size_(n) {
+  /// Allocates `n` doubles. `zero_init = false` skips the zeroing memset,
+  /// leaving the pages *untouched*: under Linux's first-touch NUMA policy
+  /// they are placed by whichever thread writes them first — the runtime's
+  /// pinned workers, via PreparedStencil::first_touch(). The default (true)
+  /// zeroes on the allocating thread, as always. Reading an un-zeroed
+  /// buffer before writing it is caller error.
+  explicit AlignedBuffer(std::size_t n, bool zero_init = true) : size_(n) {
     if (n == 0) return;
     const std::size_t bytes = (n * sizeof(double) + kAlignment - 1) /
                               kAlignment * kAlignment;
     data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc{};
-    std::memset(data_, 0, bytes);
+    if (zero_init) std::memset(data_, 0, bytes);
   }
 
   AlignedBuffer(AlignedBuffer&& o) noexcept

@@ -24,6 +24,15 @@
 ///  * `SF_LLC_BYTES=n`    — override the detected last-level-cache size the
 ///    Tiling::Auto cost model compares working sets against
 ///    (common/cpu.hpp llc_bytes()).
+///  * `SF_THREADS=n`      — default worker count for tiled stages when the
+///    caller leaves `threads` unset (0/unset = hardware threads).
+///  * `SF_AFFINITY=none|compact|scatter` — default worker-placement policy
+///    of the runtime's WorkerPool when ExecOptions::affinity is left at
+///    Affinity::None (runtime/topology.hpp env_affinity()).
+///  * `SF_VALIDATE=0`     — debug-only toggle that skips the per-call
+///    FieldView validation in PreparedStencil::run()/advance() (combined
+///    with HaloPolicy::Clean this makes a streaming advance() pure kernel
+///    dispatch). Any other value — including unset — keeps validation on.
 #pragma once
 
 #include <cstdlib>
@@ -65,6 +74,18 @@ inline std::string tune_cache_path() { return env_str("SF_TUNE_CACHE"); }
 /// SF_TILE_MIN_BYTES: Tiling::Auto working-set floor (default 2 MiB).
 inline long tile_min_bytes() {
   return env_long("SF_TILE_MIN_BYTES", 2L << 20);
+}
+
+/// SF_THREADS: default tiled-stage worker count (0 = hardware threads).
+inline int env_threads() {
+  return static_cast<int>(env_long("SF_THREADS", 0));
+}
+
+/// SF_VALIDATE: false only when the variable is set to exactly "0" — the
+/// debug-only escape hatch that drops per-call view validation.
+inline bool env_validate() {
+  const char* v = std::getenv("SF_VALIDATE");
+  return v == nullptr || std::string(v) != "0";
 }
 
 }  // namespace sf

@@ -1,16 +1,18 @@
 #include "core/engine.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/env.hpp"
 #include "core/tuner.hpp"
 #include "fold/cost_model.hpp"
+#include "fold/folding_plan.hpp"
 #include "grid/grid_utils.hpp"
+#include "kernels/kernels3d_impl.hpp"
 #include "layout/transpose_layout.hpp"
 #include "tiling/split_tiling.hpp"
 
@@ -86,6 +88,11 @@ struct PreparedStencil::State {
   Layout preferred = Layout::Natural;  // kernel's layout at this radius
   Layout accept = Layout::Natural;     // resident layout run() accepts
   HaloPolicy halo_policy = HaloPolicy::Sync;
+  Affinity affinity = Affinity::None;  // resolved placement policy
+  bool validate = true;                // per-call view validation
+  std::shared_ptr<WorkerPool> pool;    // runtime pool of the tiled stages
+                                       // (shared per (threads, affinity);
+                                       // null for untiled/serial plans)
 };
 
 const StencilSpec& PreparedStencil::spec() const { return st_->spec; }
@@ -99,6 +106,9 @@ int PreparedStencil::tsteps() const { return st_->tsteps; }
 Layout PreparedStencil::preferred_layout() const { return st_->preferred; }
 Layout PreparedStencil::resident_layout() const { return st_->accept; }
 HaloPolicy PreparedStencil::halo_policy() const { return st_->halo_policy; }
+Affinity PreparedStencil::affinity() const { return st_->affinity; }
+bool PreparedStencil::validates() const { return st_->validate; }
+const WorkerPool* PreparedStencil::pool() const { return st_->pool.get(); }
 
 // ---------------------------------------------------------------------------
 // View validation
@@ -369,8 +379,9 @@ void PreparedStencil::run(FieldView1D a, FieldView1D b, FieldView1D k,
     throw std::invalid_argument("1-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
   const FieldView1D* kk = k.valid() ? &k : nullptr;
-  validate(st_->spec.has_source, st_->halo, st_->nx, a, b, kk, st_->accept,
-           st_->kernel->width);
+  if (st_->validate)
+    validate(st_->spec.has_source, st_->halo, st_->nx, a, b, kk, st_->accept,
+             st_->kernel->width);
   if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   const Pattern1D* src = st_->spec.has_source ? &st_->spec.src1 : nullptr;
   if (st_->plan.tiled)
@@ -385,8 +396,9 @@ void PreparedStencil::run(FieldView2D a, FieldView2D b, int tsteps) const {
   if (st_->spec.dims != 2)
     throw std::invalid_argument("2-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
-  validate(st_->halo, st_->nx, st_->ny, a, b, st_->accept,
-           st_->kernel->width);
+  if (st_->validate)
+    validate(st_->halo, st_->nx, st_->ny, a, b, st_->accept,
+             st_->kernel->width);
   if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   if (st_->plan.tiled)
     run_tile_plan(st_->spec.p2, a, b, tsteps, st_->plan.tile);
@@ -400,8 +412,9 @@ void PreparedStencil::run(FieldView3D a, FieldView3D b, int tsteps) const {
   if (st_->spec.dims != 3)
     throw std::invalid_argument("3-D run() on a stencil prepared for " +
                                 std::to_string(st_->spec.dims) + "-D");
-  validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b, st_->accept,
-           st_->kernel->width);
+  if (st_->validate)
+    validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b, st_->accept,
+             st_->kernel->width);
   if (st_->halo_policy == HaloPolicy::Sync) sync_halo(a, b);
   if (st_->plan.tiled)
     run_tile_plan(st_->spec.p3, a, b, tsteps, st_->plan.tile);
@@ -424,6 +437,85 @@ void PreparedStencil::advance(FieldView2D a, FieldView2D b,
 void PreparedStencil::advance(FieldView3D a, FieldView3D b,
                               int nsteps) const {
   run(a, b, nsteps);
+}
+
+// ---------------------------------------------------------------------------
+// First-touch initialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Drives `zero(lo, hi)` (element range of the tiled dimension, halos
+// included at the ends) either per placement — each owning worker touching
+// exactly its tile rows/planes — or serially when the plan has no pool or
+// the view's tiled extent is not the prepared one.
+template <class Zero>
+void first_touch_split(const ExecutionPlan& plan, WorkerPool* pool,
+                       long n_tiled, long prepared_n, int halo, Zero&& zero) {
+  const PlacementPlan& place = plan.placement;
+  // Unpinned (Affinity::None) pools zero serially on the calling thread:
+  // floating workers would place pages on whatever node the OS happened
+  // to schedule them, which is arbitrary rather than useful.
+  if (pool == nullptr || place.workers == 0 ||
+      place.affinity == Affinity::None || n_tiled != prepared_n) {
+    zero(-halo, n_tiled + halo);
+    return;
+  }
+  const int tile = plan.tile.tile;
+  pool->run([&](int w) {
+    const auto [t0, t1] = place.tiles_of(w);
+    if (t0 >= t1) return;
+    long lo = static_cast<long>(t0) * tile;
+    long hi = std::min<long>(n_tiled, static_cast<long>(t1) * tile);
+    // The domain-end halo slabs belong to the workers whose tiles abut
+    // them — they are read alongside those tiles every super-step.
+    if (t0 == 0) lo = -halo;
+    if (hi >= n_tiled) hi = n_tiled + halo;
+    zero(lo, hi);
+  });
+}
+
+}  // namespace
+
+void PreparedStencil::first_touch(FieldView1D v) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::first_touch on an empty handle");
+  const int h = v.halo();
+  first_touch_split(st_->plan, st_->pool.get(), v.n(), st_->nx, h,
+                    [&](long lo, long hi) {
+                      std::memset(v.data() + lo, 0,
+                                  static_cast<std::size_t>(hi - lo) *
+                                      sizeof(double));
+                    });
+}
+
+void PreparedStencil::first_touch(FieldView2D v) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::first_touch on an empty handle");
+  const int h = v.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(v.nx() + 2 * h) * sizeof(double);
+  first_touch_split(st_->plan, st_->pool.get(), v.ny(), st_->ny, h,
+                    [&](long lo, long hi) {
+                      for (long y = lo; y < hi; ++y)
+                        std::memset(v.row(static_cast<int>(y)) - h, 0,
+                                    row_bytes);
+                    });
+}
+
+void PreparedStencil::first_touch(FieldView3D v) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument("PreparedStencil::first_touch on an empty handle");
+  const int h = v.halo();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(v.nx() + 2 * h) * sizeof(double);
+  first_touch_split(st_->plan, st_->pool.get(), v.nz(), st_->nz, h,
+                    [&](long lo, long hi) {
+                      for (long z = lo; z < hi; ++z)
+                        for (int y = -h; y < v.ny() + h; ++y)
+                          std::memset(v.row(static_cast<int>(z), y) - h, 0,
+                                      row_bytes);
+                    });
 }
 
 // ---------------------------------------------------------------------------
@@ -592,9 +684,16 @@ PreparedStencil Engine::prepare(Preset p, Extents ext,
 }
 
 PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
-                                const ExecOptions& opts) {
+                                const ExecOptions& opts_in) {
   // Defaults mirror Solver::resolve(): each unset extent independently
-  // falls back to the preset fast-run size.
+  // falls back to the preset fast-run size. Unset runtime knobs pick up
+  // their process-wide environment defaults here, so the cache key below
+  // is the *effective* request and an env change between calls is never
+  // served a stale preparation.
+  ExecOptions opts = opts_in;
+  if (opts.affinity == Affinity::None) opts.affinity = env_affinity();
+  if (opts.threads == 0) opts.threads = env_threads();
+  opts.validate = opts.validate && env_validate();
   if (ext.nx == 0) ext.nx = spec.small_size[0];
   if (ext.ny == 0) ext.ny = spec.dims >= 2 ? spec.small_size[1] : 1;
   if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
@@ -617,6 +716,8 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
            e.opts.time_block == opts.time_block &&
            e.opts.layout == opts.layout &&
            e.opts.halo_policy == opts.halo_policy &&
+           e.opts.affinity == opts.affinity &&
+           e.opts.validate == opts.validate &&
            same_spec(e.state->spec, spec);
   };
   auto tuner_fresh = [](const CacheEntry& e) {
@@ -654,6 +755,8 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   st->preferred = st->kernel->resident_layout(effective_radius(spec));
   st->accept = opts.layout;
   st->halo_policy = opts.halo_policy;
+  st->affinity = opts.affinity;
+  st->validate = opts.validate;
   if (opts.layout != Layout::Natural && opts.layout != st->preferred)
     throw std::invalid_argument(
         std::string("Engine::prepare: ExecOptions::layout requests ") +
@@ -672,9 +775,25 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   req.threads = opts.threads;
   req.tile = opts.tile;
   req.time_block = opts.time_block;
+  req.affinity = opts.affinity;
   st->plan = plan_execution(req);
 
-  if (st->plan.tiled) warm_pool(st->plan.tile.threads);
+  // Build or reuse the runtime pool the tiled stages will run on (shared
+  // per (threads, affinity), workers parked between tasks), and first-touch
+  // the per-worker workspace slabs on their owners: the 3-D folded stage's
+  // sliding plane window is sized here exactly as folded3d_advance sizes
+  // it, so the first run() finds it allocated — on the right NUMA node —
+  // instead of growing it mid-stage.
+  if (st->plan.tiled && st->plan.blocked && st->plan.tile.threads > 1) {
+    st->pool = shared_pool(st->plan.tile.threads, opts.affinity);
+    if (spec.dims == 3 && st->kernel->method == Method::Ours2) {
+      const FoldingPlan fold =
+          plan_folding(spec.p3, st->kernel->fold_depth);
+      const detail::Folded3DWindowShape shape = detail::folded3d_window_shape(
+          fold, static_cast<int>(ext.nx), st->kernel->width);
+      st->pool->ensure_arena(shape.nbufs, shape.doubles);
+    }
+  }
 
   CacheEntry entry;
   entry.spec_hash = sh;
@@ -692,9 +811,13 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   entry.tuner_dependent =
       st->plan.tiled && opts.tile == 0 && opts.time_block == 0;
   if (entry.tuner_dependent) {
+    // The lookup plan_execution performed is keyed on the thread count
+    // negotiated from the *request* (a cached entry may deploy a different
+    // winning count, so st->plan.tile.threads is not necessarily the
+    // lookup key) — re-derive it the same way.
     entry.tune_key =
         make_tune_key(*st->kernel, effective_radius(spec), ext.nx, ext.ny,
-                      ext.nz, tsteps, st->plan.tile.threads);
+                      ext.nz, tsteps, plan_geometry(req).threads);
     entry.tune_seen = TuneCache::instance().lookup_rounded(entry.tune_key);
   }
   entry.state = st;
@@ -728,17 +851,10 @@ long Engine::plan_cache_hits() const {
 }
 
 void Engine::warm_pool(int threads) {
-  const int want = threads > 0 ? threads : omp_get_max_threads();
-  // The lock is held across the (empty) parallel region so a concurrent
-  // caller cannot observe warmed_threads_ updated before the workers
-  // actually exist; the workers never touch the engine, so this cannot
-  // deadlock.
-  std::lock_guard<std::mutex> lock(mu_);
-  if (warmed_threads_ >= want) return;
-#pragma omp parallel num_threads(want)
-  {
-  }
-  warmed_threads_ = want;
+  // Building the shared pool is the warmup: workers spawn, pin and park.
+  // Resolve the same process-wide affinity default prepare() would, so the
+  // pool warmed here is the pool a subsequent prepare() reuses.
+  shared_pool(threads, env_affinity());
 }
 
 }  // namespace sf

@@ -4,8 +4,10 @@
 /// `sf::Engine` is the process-wide planning service. It owns what used to
 /// be re-derived on every `Solver::run()`: the registry view (kernel
 /// selection), the plan cache (negotiated ExecutionPlans keyed on the full
-/// request), the tuner cache hookup, and the OpenMP worker-pool warmup, so
-/// parallel stages never pay thread-spinup on the execute path.
+/// request), the tuner cache hookup, and the runtime WorkerPool acquisition
+/// (built or reused per (threads, affinity), per-worker workspace slabs
+/// first-touched on their owners), so parallel stages never pay thread
+/// creation or remote-node workspace pages on the execute path.
 ///
 /// \code
 ///   Engine& eng = Engine::instance();
@@ -36,6 +38,7 @@
 #include "core/execution_plan.hpp"
 #include "grid/grid.hpp"
 #include "kernels/registry.hpp"
+#include "runtime/worker_pool.hpp"
 #include "stencil/presets.hpp"
 
 namespace sf {
@@ -83,6 +86,21 @@ struct ExecOptions {
   ///< prepare() throws when the layout is not the kernel's preference.
   HaloPolicy halo_policy = HaloPolicy::Sync;
   ///< Per-call halo handling; see HaloPolicy.
+  Affinity affinity = Affinity::None;
+  ///< Worker placement of the tiled stages (runtime/topology.hpp): the
+  ///< prepared plan's pool pins its workers per this policy and the
+  ///< placement map assigns them tile ranges. Affinity::None (default)
+  ///< leaves workers unpinned — results are bitwise identical across
+  ///< policies; placement changes locality only. When left at None the
+  ///< process-wide `SF_AFFINITY` default applies.
+  bool validate = true;
+  ///< Per-call FieldView validation in run()/advance(). Default on; the
+  ///< debug-only escape hatch (`validate = false`, or `SF_VALIDATE=0`
+  ///< process-wide) removes the residual O(1) checks from streaming
+  ///< advance() loops — combined with HaloPolicy::Clean a call is then
+  ///< pure kernel dispatch. Invalid views are undefined behavior once
+  ///< validation is off; keep it on everywhere except profiled-clean
+  ///< streaming hot loops.
 };
 
 /// Immutable, thread-safe handle to one prepared stencil execution: the
@@ -135,6 +153,31 @@ class PreparedStencil {
   Layout resident_layout() const;
   /// The per-call halo policy this handle was prepared with.
   HaloPolicy halo_policy() const;
+  /// The resolved worker placement policy (ExecOptions::affinity after the
+  /// SF_AFFINITY default applied).
+  Affinity affinity() const;
+  /// True when run()/advance() validate views per call (the default).
+  bool validates() const;
+  /// The persistent worker pool the tiled stages execute on — shared per
+  /// (threads, affinity) configuration and reused across prepare() calls —
+  /// or nullptr for untiled/serial plans. Exposed for introspection and
+  /// tests; the pool is owned by the runtime registry (shared_pool), not
+  /// by this handle.
+  const WorkerPool* pool() const;
+
+  /// First-touch initialization: zeroes `v`'s buffer with each pool worker
+  /// writing exactly the rows/planes of the wedge tiles the placement plan
+  /// assigns it (plus the adjacent boundary halo at the domain ends), so
+  /// under Linux's first-touch policy every worker's tiles land on its own
+  /// NUMA node. Call it on freshly allocated, never-written memory —
+  /// first touch is decided by the *first* write, so a buffer that was
+  /// already zeroed serially gains nothing. Serial/untiled preparations
+  /// (and Affinity::None pools) zero the buffer on the calling thread.
+  void first_touch(FieldView1D v) const;
+  /// 2-D overload of first_touch().
+  void first_touch(FieldView2D v) const;
+  /// 3-D overload of first_touch().
+  void first_touch(FieldView3D v) const;
 
   /// Executes `tsteps` steps on a 1-D source-free stencil; result in `a`.
   /// Throws std::invalid_argument on view/shape mismatch.
@@ -169,7 +212,8 @@ class PreparedStencil {
 
 /// Process-wide prepared-execution service. prepare() performs the one-time
 /// work — kernel selection, halo and resident-layout negotiation,
-/// plan/tune-cache consultation, worker-pool warmup — and hands back an
+/// plan/tune-cache consultation, worker-pool build-or-reuse with
+/// first-touch workspace initialization — and hands back an
 /// immutable PreparedStencil. Identical requests (same stencil, extents
 /// and options) return a shared cached preparation; a preparation whose
 /// plan consulted the tuner stays cached exactly while its *own* TuneCache
@@ -194,13 +238,11 @@ class Engine {
   /// prepare() calls served from the cache over this engine's lifetime.
   long plan_cache_hits() const;
 
-  /// Ensures the calling thread's OpenMP worker pool holds at least
-  /// `threads` threads (0 = the OpenMP default) by running one empty
-  /// parallel region, so the first tiled run() from this thread does not
-  /// pay thread creation. prepare() calls this automatically for tiled
-  /// plans. OpenMP teams are per master thread: a client thread other
-  /// than the preparing one pays its own one-time spinup on its first
-  /// tiled run (or can call warm_pool itself beforehand).
+  /// Ensures the process-wide WorkerPool for `threads` workers (0 = the
+  /// hardware thread count) at Affinity::None exists, so the first tiled
+  /// run() does not pay thread creation. prepare() acquires the matching
+  /// pool automatically for tiled plans (including pinned ones); this
+  /// remains for callers that want to pre-warm before preparing.
   void warm_pool(int threads = 0);
 
  private:
@@ -211,7 +253,6 @@ class Engine {
   mutable std::mutex mu_;
   std::vector<CacheEntry> cache_;
   long hits_ = 0;
-  int warmed_threads_ = 0;
 };
 
 /// Transforms `v`'s buffer in place into `ps`'s preferred resident layout

@@ -51,6 +51,7 @@ WedgeGeometry negotiate(const PlanRequest& req) {
   requested.tile = req.tile;
   requested.time_block = req.time_block;
   requested.threads = req.threads;
+  requested.affinity = req.affinity;
   const int slope = req.kernel->wedge_slope(pattern_radius(*req.spec));
   return negotiate_wedge(
       static_cast<int>(tiled_extent(*req.spec, req.nx, req.ny, req.nz)),
@@ -125,6 +126,7 @@ ExecutionPlan plan_execution(const PlanRequest& req) {
   plan.tile.tile = g.tile;
   plan.tile.time_block = g.time_block;
   plan.tile.threads = g.threads;
+  plan.tile.affinity = req.affinity;
   // Explicit geometry outranks the cache; a fully-auto request recalls any
   // previously-measured result for this configuration — exact shape first,
   // then the quarter-octave shape bucket (core/tuner.hpp tune_bucket), so
@@ -132,7 +134,9 @@ ExecutionPlan plan_execution(const PlanRequest& req) {
   // cached geometry is re-validated against *this* domain before it is
   // trusted — a cache file can legitimately come from another machine or
   // be edited — and an unblockable entry is ignored in favor of the
-  // heuristics.
+  // heuristics. An entry that probed the thread-count axis deploys its
+  // winning worker count too (a bandwidth-saturated stencil may have
+  // measured fastest below the hardware maximum).
   if (req.tile == 0 && req.time_block == 0) {
     const TuneKey key =
         make_tune_key(*req.kernel, effective_radius(*req.spec), req.nx,
@@ -141,14 +145,25 @@ ExecutionPlan plan_execution(const PlanRequest& req) {
       PlanRequest cached = req;
       cached.tile = hit->tile;
       cached.time_block = hit->time_block;
+      if (hit->threads > 0) cached.threads = hit->threads;
       const WedgeGeometry cg = negotiate(cached);
       if (cg.blocked) {
         plan.tile.tile = cg.tile;
         plan.tile.time_block = cg.time_block;
+        plan.tile.threads = cg.threads;
         plan.blocked = cg.blocked;
         plan.source = PlanSource::Cached;
       }
     }
+  }
+  // The placement map is part of the plan: who computes which tiles is
+  // negotiated with the geometry, not improvised at run time.
+  if (plan.blocked && plan.tile.threads > 1) {
+    const long n_tiled = tiled_extent(*req.spec, req.nx, req.ny, req.nz);
+    const int ntiles =
+        static_cast<int>((n_tiled + plan.tile.tile - 1) / plan.tile.tile);
+    plan.placement =
+        balanced_placement(ntiles, plan.tile.threads, req.affinity);
   }
   return plan;
 }

@@ -57,9 +57,12 @@ struct PlanRequest {
   long nz = 1;                          ///< Third extent (1 below 3-D).
   int tsteps = 0;                       ///< Resolved time-step horizon.
   Tiling tiling = Tiling::Auto;         ///< The user's tiling policy.
-  int threads = 0;     ///< Requested OpenMP threads (0 = OpenMP default).
+  int threads = 0;     ///< Requested pool workers (0 = hardware threads).
   int tile = 0;        ///< Explicit tile extent (0 = negotiate/tune).
   int time_block = 0;  ///< Explicit time block (0 = negotiate/tune).
+  Affinity affinity = Affinity::None;  ///< Worker placement policy (the
+                                       ///< Engine resolves SF_AFFINITY
+                                       ///< before building the request).
 };
 
 /// How one Solver run will execute: untiled kernel call, or the split-tiled
@@ -74,6 +77,14 @@ struct ExecutionPlan {
                          ///< block — and the tuner has nothing to measure).
   TilePlan tile;  ///< Concrete geometry when tiled (method/isa stamped from
                   ///< the kernel; tile/time_block/threads all non-zero).
+  PlacementPlan placement;  ///< Which pool worker owns which run of wedge
+                            ///< tiles, negotiated alongside tile/time_block
+                            ///< for blocked parallel plans (workers == 0
+                            ///< otherwise). The tiling engine recomputes
+                            ///< the identical map (balanced_placement), so
+                            ///< what executes is what this reports; the
+                            ///< Engine's first-touch initialization walks
+                            ///< it so a worker's tiles live on its node.
   PlanSource source = PlanSource::Untiled;  ///< Provenance of the geometry.
 };
 

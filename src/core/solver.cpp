@@ -31,14 +31,15 @@ decltype(auto) dispatch_dims(int dims, F&& f) {
 }
 
 template <int D>
-auto make_grid(long nx, long ny, long nz, int halo) {
+auto make_grid(long nx, long ny, long nz, int halo, bool zero_init = true) {
   if constexpr (D == 1)
-    return Grid1D(static_cast<int>(nx), halo);
+    return Grid1D(static_cast<int>(nx), halo, zero_init);
   else if constexpr (D == 2)
-    return Grid2D(static_cast<int>(ny), static_cast<int>(nx), halo);
+    return Grid2D(static_cast<int>(ny), static_cast<int>(nx), halo,
+                  zero_init);
   else
     return Grid3D(static_cast<int>(nz), static_cast<int>(ny),
-                  static_cast<int>(nx), halo);
+                  static_cast<int>(nx), halo, zero_init);
 }
 
 template <int D>
@@ -153,6 +154,13 @@ Solver& Solver::threads(int n) {
   return *this;
 }
 
+Solver& Solver::affinity(Affinity a) {
+  cfg_.affinity = a;
+  selected_ = nullptr;
+  prepared_ = PreparedStencil{};
+  return *this;
+}
+
 Solver& Solver::tile(int extent) {
   cfg_.tile = extent;
   selected_ = nullptr;
@@ -226,6 +234,7 @@ ExecOptions Solver::exec_options() const {
   o.tile = cfg_.tile;
   o.time_block = cfg_.time_block;
   o.tsteps = cfg_.tsteps;
+  o.affinity = cfg_.affinity;
   return o;
 }
 
@@ -241,6 +250,7 @@ PlanRequest Solver::plan_request() const {
   req.threads = cfg_.threads;
   req.tile = cfg_.tile;
   req.time_block = cfg_.time_block;
+  req.affinity = cfg_.affinity;
   return req;
 }
 
@@ -252,12 +262,23 @@ int Solver::halo() { return resolve().halo_; }
 // Measure-once auto-tuning
 // ---------------------------------------------------------------------------
 
-// Probes a few tile geometries on the allocated grids (contents are
+// Probes candidate geometries on the allocated grids (contents are
 // irrelevant for timing but kept finite so FP corner cases don't distort
 // it), records the winner in the TuneCache, and restores `a`'s initial
 // state for the timed run. A Cached plan skips all of this — that is the
 // "repeated runs are free" contract — and an unblockable plan has no wedge
 // geometry worth measuring.
+//
+// The search runs three axes in sequence rather than their full product
+// (additive, not multiplicative, probe counts):
+//  1. tile extents, each probed at the block height the Fig. 7 heuristic
+//     yields for it — the heuristic is the probe seed, never skipped;
+//  2. (tile × time_block) pairs: the winning tile re-measured at halved
+//     and doubled block heights, so a machine whose sweet spot departs
+//     from the triangle-geometry derivation is actually measured;
+//  3. thread counts {resolved, resolved/2, cores-per-node}: now that the
+//     worker count is a first-class plan parameter, bandwidth-saturated
+//     stencils can settle below the hardware maximum.
 template <int D, class P, class G>
 void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
                        const FieldView1D* kk) {
@@ -272,59 +293,116 @@ void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
   // overheads (layout transposes in/out, stage fork/join) amortize
   // identically and cancel out of the ranking.
   const int probe_steps = std::min(cfg_.tsteps, std::max(2 * m, 48));
-  // The tuner searches *tile extents*; block heights always follow the
-  // Fig. 7 heuristic for the chosen tile. Candidates are probed with the
-  // block height that heuristic yields at the probe horizon (a taller
-  // block than the probe can observe is never measured), and the winner's
-  // deployed height is re-negotiated at the run's real horizon below —
-  // so a tuned plan never trades away the tall blocks an untuned plan
-  // would use; unblockable candidates have no wedge schedule to measure.
-  std::vector<std::pair<int, int>> cands;  // (tile, probe time_block)
+  const int base_threads = plan_.tile.threads;  // the resolved count
   PlanRequest treq = plan_request();
-  treq.threads = plan_.tile.threads;  // the resolved count
+  treq.threads = base_threads;
+  treq.affinity = plan_.tile.affinity;
   treq.tsteps = probe_steps;
+
+  auto probe = [&](int tile_c, int tb_c, int thr_c, int steps) {
+    TilePlan cand = plan_.tile;
+    cand.tile = tile_c;
+    cand.time_block = tb_c;
+    cand.threads = thr_c;
+    if constexpr (D == 1)
+      run_tile_plan(p, a, b, src, kk, steps, cand);
+    else
+      run_tile_plan(p, a, b, steps, cand);
+  };
+  auto measure = [&](int tile_c, int tb_c, int thr_c) {
+    Timer timer;
+    probe(tile_c, tb_c, thr_c, probe_steps);
+    return timer.seconds();
+  };
+
+  // Axis 1: tile extents at their heuristic block heights. A taller block
+  // than the probe horizon can observe is never measured; unblockable
+  // candidates have no wedge schedule to measure.
+  std::vector<std::pair<int, int>> cands;  // (tile, probe time_block)
   for (int c :
-       tile_candidates(n_tiled, slope, plan_.tile.threads, plan_.tile.tile)) {
+       tile_candidates(n_tiled, slope, base_threads, plan_.tile.tile)) {
     treq.tile = c;
     treq.time_block = 0;
     const WedgeGeometry g = plan_geometry(treq);
     if (g.blocked) cands.emplace_back(g.tile, g.time_block);
   }
   if (cands.empty()) return;
-  auto probe = [&](int tile_c, int tb_c, int steps) {
-    TilePlan cand = plan_.tile;
-    cand.tile = tile_c;
-    cand.time_block = tb_c;
-    if constexpr (D == 1)
-      run_tile_plan(p, a, b, src, kk, steps, cand);
-    else
-      run_tile_plan(p, a, b, steps, cand);
-  };
-  // Untimed warmup: absorbs one-time costs (OpenMP pool creation, page
-  // faults) so they don't land on the first measured candidate.
-  probe(cands.front().first, cands.front().second,
+  // Untimed warmup: absorbs one-time costs (pool creation, page faults) so
+  // they don't land on the first measured candidate.
+  probe(cands.front().first, cands.front().second, base_threads,
         std::min(cfg_.tsteps, 2 * m));
   double best_sec = std::numeric_limits<double>::infinity();
   int best_tile = plan_.tile.tile;
+  int best_tb = 0;  // 0 = the heuristic height (re-derived at deploy time)
   for (const auto& [tile_c, tb_c] : cands) {
-    Timer timer;
-    probe(tile_c, tb_c, probe_steps);
-    const double sec = timer.seconds();
+    const double sec = measure(tile_c, tb_c, base_threads);
     if (sec < best_sec) {
       best_sec = sec;
       best_tile = tile_c;
     }
   }
-  // Deploy (and record) the winning tile with the block height the
-  // heuristic gives it at the full horizon.
-  treq.tsteps = cfg_.tsteps;
+
+  // Axis 2: block heights below the winner's heuristic height — the
+  // (tile × time_block) pair is measured, not re-derived. Only shorter
+  // blocks exist for a fixed tile: the Fig. 7 height is the viability
+  // maximum (taller blocks have degenerate triangle tops and renegotiate
+  // back down), so the taller-block direction is explored through wider
+  // tiles on axis 1. A non-heuristic winner is deployed (and recorded)
+  // explicitly.
   treq.tile = best_tile;
   treq.time_block = 0;
+  const int heur_tb = plan_geometry(treq).time_block;
+  for (int tb_c : {std::max(m, heur_tb / 2 / m * m),
+                   std::max(m, heur_tb / 4 / m * m)}) {
+    if (tb_c == heur_tb) continue;
+    treq.time_block = tb_c;
+    const WedgeGeometry g = plan_geometry(treq);
+    if (!g.blocked || g.time_block == heur_tb || g.time_block == best_tb)
+      continue;
+    const double sec = measure(best_tile, g.time_block, base_threads);
+    if (sec < best_sec) {
+      best_sec = sec;
+      best_tb = g.time_block;
+    }
+  }
+
+  // Axis 3: thread counts below the resolved maximum. The geometry is
+  // re-negotiated per count (the heuristic tile is a per-thread split), so
+  // each candidate runs its own best-known shape.
+  int best_thr = base_threads;
+  std::vector<int> thr_cands{std::max(1, base_threads / 2),
+                             Topology::system().cores_per_node()};
+  if (thr_cands[1] == thr_cands[0]) thr_cands.pop_back();
+  for (int thr_c : thr_cands) {
+    if (thr_c <= 0 || thr_c == base_threads || thr_c > base_threads)
+      continue;
+    treq.threads = thr_c;
+    treq.tile = best_tile;
+    treq.time_block = best_tb;
+    const WedgeGeometry g = plan_geometry(treq);
+    if (!g.blocked) continue;
+    const double sec = measure(g.tile, g.time_block, thr_c);
+    if (sec < best_sec) {
+      best_sec = sec;
+      best_thr = thr_c;
+    }
+  }
+
+  // Deploy (and record) the winner: the measured block height when one
+  // beat the heuristic, otherwise the height the heuristic gives the
+  // winning tile at the full horizon (so a tuned plan never trades away
+  // the tall blocks an untuned plan would use); the winning thread count
+  // only when the axis actually moved it (0 = "deploy with the key's").
+  treq.tsteps = cfg_.tsteps;
+  treq.threads = best_thr;
+  treq.tile = best_tile;
+  treq.time_block = best_tb;
   const WedgeGeometry deployed = plan_geometry(treq);
   TuneCache::instance().store(
       make_tune_key(*selected_, effective_radius(cfg_.spec), cfg_.nx, cfg_.ny,
-                    cfg_.nz, cfg_.tsteps, plan_.tile.threads),
-      TunedGeometry{deployed.tile, deployed.time_block});
+                    cfg_.nz, cfg_.tsteps, base_threads),
+      TunedGeometry{deployed.tile, deployed.time_block,
+                    best_thr != base_threads ? best_thr : 0});
   // The store invalidated this configuration's cached plan (per-key), so
   // this re-prepare re-plans and recalls the geometry just recorded: the
   // prepared handle the timed run executes through carries the tuned plan.
@@ -353,19 +431,31 @@ RunResult Solver::run_impl(bool verify) {
     const auto& p = pattern_of<D>(s);
 
     if (ws_.dims != D || ws_.halo != halo_ || ws_.nx != cfg_.nx ||
-        ws_.ny != cfg_.ny || ws_.nz != cfg_.nz) {
+        ws_.ny != cfg_.ny || ws_.nz != cfg_.nz ||
+        ws_.affinity != prepared_.affinity()) {
       ws_ = Workspace{};
       ws_.dims = D;
       ws_.halo = halo_;
       ws_.nx = cfg_.nx;
       ws_.ny = cfg_.ny;
       ws_.nz = cfg_.nz;
+      ws_.affinity = prepared_.affinity();
     }
     auto& A = ws_a<D>(ws_);
     auto& B = ws_b<D>(ws_);
     if (!A) {
-      A.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
-      B.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_));
+      // Pinned runs allocate the ping-pong pair untouched and let the
+      // pool's placement map write each page first: worker w zeroes the
+      // rows/planes of the tiles it owns, so they land on its NUMA node
+      // (the serial fill below only overwrites already-placed pages).
+      const bool ft = prepared_.pool() != nullptr &&
+                      prepared_.affinity() != Affinity::None;
+      A.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_, !ft));
+      B.emplace(make_grid<D>(cfg_.nx, cfg_.ny, cfg_.nz, halo_, !ft));
+      if (ft) {
+        prepared_.first_touch(A->view());
+        prepared_.first_touch(B->view());
+      }
     }
     fill_random(*A, cfg_.seed);
     [[maybe_unused]] const Pattern1D* src = nullptr;

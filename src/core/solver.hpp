@@ -53,6 +53,9 @@ struct Workspace {
   long nx = 0;            ///< Extents the grids were allocated for.
   long ny = 0;            ///< Second extent.
   long nz = 0;            ///< Third extent.
+  Affinity affinity = Affinity::None;
+  ///< Placement policy the grids were first-touched under; changing the
+  ///< Solver's affinity reallocates so the pages are placed afresh.
 
   std::optional<Grid1D> a1;   ///< 1-D result grid.
   std::optional<Grid1D> b1;   ///< 1-D scratch grid.
@@ -125,9 +128,17 @@ class Solver {
   /// the kernel's tiled stage engages — the paper's Fig. 9 configuration),
   /// or Off.
   Solver& tiling(Tiling mode);
-  /// OpenMP threads for the tiled stages (0 = OpenMP default). Part of the
-  /// tuner cache key.
+  /// Pool workers for the tiled stages (0 = hardware threads, or
+  /// `SF_THREADS` when set). Part of the tuner cache key.
   Solver& threads(int n);
+  /// Worker placement policy of the tiled stages (runtime/topology.hpp):
+  /// Affinity::None (default — unpinned, the historical behavior; the
+  /// `SF_AFFINITY` env default applies), Compact (pack adjacent cores) or
+  /// Scatter (spread across NUMA nodes). Results are bitwise identical
+  /// across policies; with a non-None policy the workspace grids are also
+  /// allocated first-touch: each pinned worker touches its own tiles'
+  /// pages, so they land on its NUMA node.
+  Solver& affinity(Affinity a);
   /// Explicit tile extent along the tiled dimension (0 = negotiate/tune).
   Solver& tile(int extent);
   /// Explicit time steps per block (0 = negotiate/tune).
@@ -220,6 +231,7 @@ class Solver {
     int threads = 0;
     int tile = 0;
     int time_block = 0;
+    Affinity affinity = Affinity::None;
     bool tune = false;
     bool resident = false;
     std::uint64_t seed = 42;
@@ -234,9 +246,12 @@ class Solver {
   /// The Engine prepare options for the current configuration.
   ExecOptions exec_options() const;
   /// The measure-once auto-tuning pass: when enabled and the plan is a
-  /// blocked heuristic one, probes candidate tile geometries on (a, b),
-  /// records the winner in the TuneCache, re-prepares through the Engine
-  /// (which now recalls the tuned geometry), upgrades plan_ to the winner
+  /// blocked heuristic one, probes candidates on (a, b) along three axes in
+  /// sequence — tile extents (heuristic block height as the probe seed),
+  /// then (tile × time_block) pairs around the winner, then candidate
+  /// thread counts {resolved, resolved/2, cores-per-node} — records the
+  /// winner in the TuneCache, re-prepares through the Engine (which now
+  /// recalls the tuned geometry), upgrades plan_ to the winner
   /// (source = Tuned), and restores `a`'s initial state. No-op otherwise.
   template <int D, class P, class G>
   void tune_pass(const P& p, G& a, G& b, const Pattern1D* src,

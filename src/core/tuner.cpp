@@ -10,11 +10,14 @@ namespace sf {
 namespace {
 
 // One entry per line:
-//   v1 <kernel> <isa> <dims> <radius> <nx> <ny> <nz> <tsteps> <threads>
-//      <tile> <tb>
+//   v2 <kernel> <isa> <dims> <radius> <nx> <ny> <nz> <tsteps> <threads>
+//      <tile> <tb> <tuned_threads>
 // The kernel key never contains whitespace (registry names are method
-// names), so plain stream extraction round-trips.
-constexpr const char* kFormatTag = "v1";
+// names), so plain stream extraction round-trips. v1 lines (no
+// <tuned_threads> column) still parse — the field defaults to 0, meaning
+// "deploy with the key's thread count".
+constexpr const char* kFormatTag = "v2";
+constexpr const char* kFormatTagV1 = "v1";
 
 int isa_code(Isa isa) { return static_cast<int>(isa); }
 
@@ -32,7 +35,7 @@ std::string to_line(const TuneKey& k, const TunedGeometry& g) {
   os << kFormatTag << ' ' << k.kernel << ' ' << isa_code(k.isa) << ' '
      << k.dims << ' ' << k.radius << ' ' << k.nx << ' ' << k.ny << ' '
      << k.nz << ' ' << k.tsteps << ' ' << k.threads << ' ' << g.tile << ' '
-     << g.time_block;
+     << g.time_block << ' ' << g.threads;
   return os.str();
 }
 
@@ -43,8 +46,14 @@ bool parse_line(const std::string& line, TuneKey& k, TunedGeometry& g) {
   if (!(is >> tag >> k.kernel >> isa >> k.dims >> k.radius >> k.nx >> k.ny >>
         k.nz >> k.tsteps >> k.threads >> g.tile >> g.time_block))
     return false;
-  return tag == kFormatTag && isa_from_code(isa, k.isa) && k.dims >= 1 &&
-         k.dims <= 3 && g.tile > 0 && g.time_block > 0;
+  g.threads = 0;
+  if (tag == kFormatTag) {
+    if (!(is >> g.threads) || g.threads < 0) return false;
+  } else if (tag != kFormatTagV1) {
+    return false;
+  }
+  return isa_from_code(isa, k.isa) && k.dims >= 1 && k.dims <= 3 &&
+         g.tile > 0 && g.time_block > 0;
 }
 
 }  // namespace
@@ -175,7 +184,8 @@ bool TuneCache::save_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   out << "# stencilfold tuning cache: " << kFormatTag
-      << " kernel isa dims radius nx ny nz tsteps threads tile time_block\n";
+      << " kernel isa dims radius nx ny nz tsteps threads tile time_block"
+         " tuned_threads\n";
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) out << to_line(e.first, e.second) << '\n';
   return static_cast<bool>(out);

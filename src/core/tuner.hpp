@@ -56,11 +56,16 @@ struct TuneKey {
 struct TunedGeometry {
   int tile = 0;        ///< Tile extent along the tiled dimension.
   int time_block = 0;  ///< Time steps per block.
+  int threads = 0;     ///< Winning worker count, when the measuring pass
+                       ///< probed the thread-count axis (0 = deploy with
+                       ///< the key's thread count — the pre-axis format,
+                       ///< still written by entries that never probed).
 
   /// Field-wise equality (the Engine's plan cache compares the lookup it
   /// snapshotted at prepare time against the current one).
   bool operator==(const TunedGeometry& o) const {
-    return tile == o.tile && time_block == o.time_block;
+    return tile == o.tile && time_block == o.time_block &&
+           threads == o.threads;
   }
   /// Field-wise inequality.
   bool operator!=(const TunedGeometry& o) const { return !(*this == o); }

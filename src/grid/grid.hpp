@@ -22,9 +22,12 @@ namespace sf {
 
 class Grid1D {
  public:
-  Grid1D(int n, int halo)
+  /// `zero_init = false` defers the page-placing first write to the caller
+  /// (see AlignedBuffer; used with PreparedStencil::first_touch so a
+  /// pinned worker pool places each worker's tiles on its NUMA node).
+  Grid1D(int n, int halo, bool zero_init = true)
       : n_(n), halo_(halo), off_(static_cast<int>(round_up(halo, 8))),
-        buf_(off_ + round_up(n + halo, 8)) {}
+        buf_(off_ + round_up(n + halo, 8), zero_init) {}
 
   int n() const { return n_; }
   int halo() const { return halo_; }
@@ -54,11 +57,13 @@ class Grid1D {
 
 class Grid2D {
  public:
-  Grid2D(int ny, int nx, int halo)
+  /// `zero_init` as in Grid1D.
+  Grid2D(int ny, int nx, int halo, bool zero_init = true)
       : ny_(ny), nx_(nx), halo_(halo),
         xoff_(static_cast<int>(round_up(halo, 8))),
         stride_(static_cast<int>(round_up(xoff_ + nx + halo, 8))),
-        buf_(static_cast<std::size_t>(stride_) * (ny + 2 * halo)) {}
+        buf_(static_cast<std::size_t>(stride_) * (ny + 2 * halo),
+             zero_init) {}
 
   int ny() const { return ny_; }
   int nx() const { return nx_; }
@@ -96,12 +101,13 @@ class Grid2D {
 
 class Grid3D {
  public:
-  Grid3D(int nz, int ny, int nx, int halo)
+  /// `zero_init` as in Grid1D.
+  Grid3D(int nz, int ny, int nx, int halo, bool zero_init = true)
       : nz_(nz), ny_(ny), nx_(nx), halo_(halo),
         xoff_(static_cast<int>(round_up(halo, 8))),
         stride_(static_cast<int>(round_up(xoff_ + nx + halo, 8))),
         plane_(static_cast<std::size_t>(stride_) * (ny + 2 * halo)),
-        buf_(plane_ * (nz + 2 * halo)) {}
+        buf_(plane_ * (nz + 2 * halo), zero_init) {}
 
   int nz() const { return nz_; }
   int ny() const { return ny_; }

@@ -69,6 +69,19 @@ void ring_fix_box_3d(const Pattern3D& p, const FieldView3D& in, const FieldView3
 
 }  // namespace
 
+Folded3DWindowShape folded3d_window_shape(const FoldingPlan& plan, int nx,
+                                          int W) {
+  const int R = plan.radius;
+  const int nsrc =
+      static_cast<int>(plan.basis.size()) + (plan.uses_impulse ? 1 : 0);
+  const int ncols = nx / W * W + 2 * R;  // columns [-R, nxv+R)
+  Folded3DWindowShape s;
+  s.nbufs = static_cast<std::size_t>(2 * R + 1) *
+            static_cast<std::size_t>(nsrc);
+  s.doubles = static_cast<std::size_t>(ncols) * static_cast<std::size_t>(W);
+  return s;
+}
+
 template <int W>
 void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
                       const Pattern3D& lambda, const FieldView3D& in, const FieldView3D& out,
@@ -87,11 +100,12 @@ void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
 
   // window[slot * nsrc + src] holds one plane's counterpart columns for the
   // current band; column x lives at offset (x + R) * W.
-  const std::size_t colbytes = static_cast<std::size_t>(ncols) * W;
-  if (window.size() != static_cast<std::size_t>(nwin * nsrc) ||
-      (nwin * nsrc > 0 && window[0].size() < colbytes)) {
+  const Folded3DWindowShape shape = folded3d_window_shape(plan, nx, W);
+  if (window.size() != shape.nbufs ||
+      (shape.nbufs > 0 && window[0].size() < shape.doubles)) {
     window.clear();
-    for (int i = 0; i < nwin * nsrc; ++i) window.emplace_back(colbytes);
+    for (std::size_t i = 0; i < shape.nbufs; ++i)
+      window.emplace_back(shape.doubles);
   }
 
   struct Term {

@@ -45,9 +45,21 @@ template <int W>
 void step_planes_dlt3d(const Pattern3D& p, const FieldView3D& in, const FieldView3D& out,
                        int z0, int z1);
 
+/// Shape of the folded-3D sliding plane window for a domain of row extent
+/// `nx` at SIMD width `W`: buffer count and doubles per buffer. The single
+/// source of the sizing — folded3d_advance's fits-check and the Engine's
+/// per-worker arena pre-sizing both call it, so they can never drift.
+struct Folded3DWindowShape {
+  std::size_t nbufs = 0;    ///< (2R+1) window slots x counterpart sources.
+  std::size_t doubles = 0;  ///< Per-buffer capacity in doubles.
+};
+Folded3DWindowShape folded3d_window_shape(const FoldingPlan& plan, int nx,
+                                          int W);
+
 /// One folded (m = 2) advance over planes [rz0, rz1) (see folded2d_advance
 /// for the range contract; slope is 2r per super-step). `window` caches
-/// per-plane counterpart columns and must be private to the calling thread.
+/// per-plane counterpart columns and must be private to the calling thread
+/// (it is grown to folded3d_window_shape() when it does not already fit).
 template <int W>
 void folded3d_advance(const Pattern3D& p, const FoldingPlan& plan,
                       const Pattern3D& lambda, const FieldView3D& in, const FieldView3D& out,

@@ -1,0 +1,223 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/cpu.hpp"
+#include "common/env.hpp"
+
+namespace sf {
+
+const char* affinity_name(Affinity a) {
+  switch (a) {
+    case Affinity::None: return "none";
+    case Affinity::Compact: return "compact";
+    case Affinity::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+Affinity affinity_from_name(const std::string& name) {
+  if (name == "compact") return Affinity::Compact;
+  if (name == "scatter") return Affinity::Scatter;
+  return Affinity::None;
+}
+
+Affinity env_affinity() { return affinity_from_name(env_str("SF_AFFINITY")); }
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> out;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace (sysfs files end in '\n').
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(chunk.back())))
+      chunk.pop_back();
+    while (!chunk.empty() && std::isspace(static_cast<unsigned char>(chunk.front())))
+      chunk.erase(chunk.begin());
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int i = lo; i <= hi && i - lo < 1 << 20; ++i) out.push_back(i);
+      }
+    } catch (const std::exception&) {
+      // Malformed chunk: skip it, keep the parseable remainder.
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// First integer in a one-value sysfs file, or `fallback` when the file is
+/// missing/unparsable.
+int read_int_file(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int v = 0;
+  if (in >> v) return v;
+  return fallback;
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+Topology Topology::flat(int ncpus) {
+  Topology t;
+  if (ncpus < 1) ncpus = 1;
+  for (int i = 0; i < ncpus; ++i) {
+    LogicalCpu c;
+    c.id = i;
+    c.core = i;
+    c.package = 0;
+    c.node = 0;
+    c.smt_rank = 0;
+    t.cpus_.push_back(c);
+  }
+  t.cores_ = ncpus;
+  t.packages_ = 1;
+  t.nodes_ = 1;
+  t.smt_ = false;
+  return t;
+}
+
+Topology Topology::discover(const std::string& sysfs_root) {
+  std::string online;
+  if (!read_text_file(sysfs_root + "/cpu/online", online))
+    return flat(hardware_threads());
+  const std::vector<int> ids = parse_cpu_list(online);
+  if (ids.empty()) return flat(hardware_threads());
+
+  // NUMA membership: node/nodeK/cpulist, probed for consecutive K. Gaps in
+  // node numbering are tolerated by probing a bounded range; machines with
+  // no node/ directory degrade to one node.
+  std::map<int, int> node_of_cpu;
+  for (int k = 0, misses = 0; k < 1024 && misses < 16; ++k) {
+    std::string cl;
+    if (!read_text_file(sysfs_root + "/node/node" + std::to_string(k) +
+                            "/cpulist",
+                        cl)) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    for (int cpu : parse_cpu_list(cl)) node_of_cpu[cpu] = k;
+  }
+
+  Topology t;
+  for (int id : ids) {
+    const std::string base =
+        sysfs_root + "/cpu/cpu" + std::to_string(id) + "/topology/";
+    LogicalCpu c;
+    c.id = id;
+    c.core = read_int_file(base + "core_id", id);
+    c.package = read_int_file(base + "physical_package_id", 0);
+    const auto it = node_of_cpu.find(id);
+    c.node = it != node_of_cpu.end() ? it->second : 0;
+    t.cpus_.push_back(c);
+  }
+
+  // SMT ranks: id order within each (package, core) pair.
+  std::map<std::pair<int, int>, int> seen;
+  for (LogicalCpu& c : t.cpus_) {
+    int& rank = seen[{c.package, c.core}];
+    c.smt_rank = rank++;
+    t.smt_ = t.smt_ || c.smt_rank > 0;
+  }
+  t.cores_ = static_cast<int>(seen.size());
+
+  std::vector<int> pkgs, nds;
+  for (const LogicalCpu& c : t.cpus_) {
+    pkgs.push_back(c.package);
+    nds.push_back(c.node);
+  }
+  std::sort(pkgs.begin(), pkgs.end());
+  std::sort(nds.begin(), nds.end());
+  t.packages_ = static_cast<int>(
+      std::unique(pkgs.begin(), pkgs.end()) - pkgs.begin());
+  t.nodes_ = std::max(
+      1, static_cast<int>(std::unique(nds.begin(), nds.end()) - nds.begin()));
+  return t;
+}
+
+const Topology& Topology::system() {
+  static const Topology* t =
+      new Topology(discover("/sys/devices/system"));
+  return *t;
+}
+
+int Topology::cores_per_node() const {
+  return std::max(1, (cores_ + nodes_ - 1) / std::max(1, nodes_));
+}
+
+int Topology::node_of(int cpu_id) const {
+  for (const LogicalCpu& c : cpus_)
+    if (c.id == cpu_id) return c.node;
+  return -1;
+}
+
+std::vector<int> Topology::pin_order(Affinity policy) const {
+  std::vector<int> order;
+  if (policy == Affinity::None || cpus_.empty()) return order;
+
+  if (policy == Affinity::Compact) {
+    // Adjacent workers share a node, then a package, then a core: sort by
+    // (node, package, core, smt_rank). Each core is saturated — SMT
+    // sibling immediately after its first thread — before the next core
+    // starts (thread-granularity "compact", like KMP_AFFINITY=compact).
+    std::vector<LogicalCpu> s = cpus_;
+    std::stable_sort(s.begin(), s.end(),
+                     [](const LogicalCpu& a, const LogicalCpu& b) {
+                       if (a.node != b.node) return a.node < b.node;
+                       if (a.package != b.package) return a.package < b.package;
+                       if (a.core != b.core) return a.core < b.core;
+                       return a.smt_rank < b.smt_rank;
+                     });
+    for (const LogicalCpu& c : s) order.push_back(c.id);
+    return order;
+  }
+
+  // Scatter: round-robin across NUMA nodes, physical cores first (all
+  // smt_rank-0 threads of every node before any sibling), so k workers land
+  // on k distinct cores spread over all nodes.
+  std::map<int, std::vector<LogicalCpu>> per_node;
+  for (const LogicalCpu& c : cpus_) per_node[c.node].push_back(c);
+  for (auto& [node, v] : per_node)
+    std::stable_sort(v.begin(), v.end(),
+                     [](const LogicalCpu& a, const LogicalCpu& b) {
+                       if (a.smt_rank != b.smt_rank)
+                         return a.smt_rank < b.smt_rank;
+                       if (a.package != b.package) return a.package < b.package;
+                       return a.core < b.core;
+                     });
+  std::vector<std::size_t> cursor(per_node.size(), 0);
+  std::vector<const std::vector<LogicalCpu>*> groups;
+  for (const auto& [node, v] : per_node) groups.push_back(&v);
+  for (std::size_t remaining = cpus_.size(); remaining > 0;) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (cursor[g] >= groups[g]->size()) continue;
+      order.push_back((*groups[g])[cursor[g]++].id);
+      --remaining;
+    }
+  }
+  return order;
+}
+
+}  // namespace sf

@@ -1,0 +1,116 @@
+/// \file
+/// \brief CPU/NUMA topology discovery for the persistent runtime layer.
+///
+/// The paper's multicore scaling claims (Fig. 10, Table 3) only reproduce
+/// reliably when threads are *placed*: pinned to known cores, with each
+/// worker's tiles resident on its own NUMA node. `sf::Topology` is the map
+/// that placement is computed from — logical CPUs with their core, package
+/// and NUMA-node membership, discovered from the Linux sysfs tree
+/// (`/sys/devices/system/{cpu,node}`) with a portable flat fallback for
+/// platforms or containers that expose nothing.
+///
+/// Discovery is side-effect free and can be pointed at any directory laid
+/// out like sysfs (`Topology::discover(root)`), so tests exercise the
+/// parser against fixture trees instead of the host machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sf {
+
+/// Thread-placement policy of a WorkerPool (and of the tiled execution
+/// stages that run on one). Spelled in ExecOptions / `Solver::affinity()`;
+/// `SF_AFFINITY=none|compact|scatter` supplies a process-wide default.
+enum class Affinity {
+  None,     ///< No pinning: workers float wherever the OS schedules them
+            ///< (the historical OpenMP-equivalent behavior, and the
+            ///< default — results are bitwise identical across policies,
+            ///< placement only affects locality).
+  Compact,  ///< Pack workers onto adjacent cores: each core saturated (SMT
+            ///< sibling adjacent) before the next, one package/node filled
+            ///< before spilling to the next. Best cache sharing between
+            ///< neighbouring wedge tiles.
+  Scatter,  ///< Spread workers round-robin across NUMA nodes (then cores):
+            ///< maximizes aggregate memory bandwidth, the right default
+            ///< for bandwidth-saturated stencils on multi-node machines.
+};
+
+/// Display name of an Affinity ("none", "compact", "scatter").
+const char* affinity_name(Affinity a);
+
+/// Parses an affinity name (case-sensitive, as spelled by affinity_name);
+/// unknown or empty strings yield Affinity::None.
+Affinity affinity_from_name(const std::string& name);
+
+/// The process-wide affinity default: `SF_AFFINITY` parsed via
+/// affinity_from_name() (unset -> Affinity::None).
+Affinity env_affinity();
+
+/// One logical CPU as discovered from sysfs.
+struct LogicalCpu {
+  int id = 0;        ///< Kernel CPU number (cpuN).
+  int core = 0;      ///< Physical core id within its package.
+  int package = 0;   ///< Physical package (socket) id.
+  int node = 0;      ///< NUMA node the CPU belongs to.
+  int smt_rank = 0;  ///< 0 = first hardware thread of its core, 1 = second
+                     ///< SMT sibling, ...
+};
+
+/// Immutable machine map: logical CPUs with core/package/NUMA membership.
+class Topology {
+ public:
+  /// The host machine's topology, discovered once from
+  /// `/sys/devices/system` and cached for the process lifetime. Falls back
+  /// to flat() when sysfs is absent (non-Linux, sandboxed containers).
+  static const Topology& system();
+
+  /// Discovers a topology from a directory laid out like
+  /// `/sys/devices/system` (containing `cpu/online`,
+  /// `cpu/cpuN/topology/{core_id,physical_package_id}` and
+  /// `node/nodeK/cpulist`). Missing node information degrades to a single
+  /// NUMA node; a missing/unreadable `cpu/online` yields flat().
+  /// Exposed (rather than hidden behind system()) so tests drive the
+  /// parser with fixture trees.
+  static Topology discover(const std::string& sysfs_root);
+
+  /// Portable fallback: `ncpus` logical CPUs, each its own core, one
+  /// package, one NUMA node, no SMT.
+  static Topology flat(int ncpus);
+
+  /// The logical CPUs, ordered by id.
+  const std::vector<LogicalCpu>& cpus() const { return cpus_; }
+  /// Number of logical CPUs.
+  int logical_cpus() const { return static_cast<int>(cpus_.size()); }
+  /// Number of distinct physical cores.
+  int physical_cores() const { return cores_; }
+  /// Number of packages (sockets).
+  int packages() const { return packages_; }
+  /// Number of NUMA nodes.
+  int numa_nodes() const { return nodes_; }
+  /// True when any core carries more than one hardware thread.
+  bool smt() const { return smt_; }
+  /// Physical cores per NUMA node (rounded up; >= 1). The tuner probes
+  /// this as a candidate thread count for bandwidth-saturated stencils.
+  int cores_per_node() const;
+  /// NUMA node of a logical CPU id (-1 when the id is unknown).
+  int node_of(int cpu_id) const;
+
+  /// The CPU ids workers are pinned to, in worker order, for a placement
+  /// policy. Affinity::None yields an empty vector (no pinning). Workers
+  /// beyond the vector's size wrap around (oversubscription).
+  std::vector<int> pin_order(Affinity policy) const;
+
+ private:
+  std::vector<LogicalCpu> cpus_;
+  int cores_ = 0;
+  int packages_ = 0;
+  int nodes_ = 0;
+  bool smt_ = false;
+};
+
+/// Parses a sysfs CPU list ("0-3,8,10-11") into ascending CPU ids.
+/// Malformed chunks are skipped; whitespace/newlines are tolerated.
+std::vector<int> parse_cpu_list(const std::string& list);
+
+}  // namespace sf

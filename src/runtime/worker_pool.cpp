@@ -1,0 +1,176 @@
+#include "runtime/worker_pool.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/cpu.hpp"
+
+namespace sf {
+
+PlacementPlan balanced_placement(int ntiles, int workers, Affinity affinity) {
+  PlacementPlan p;
+  if (workers <= 0 || ntiles <= 0) return p;
+  p.workers = workers;
+  p.affinity = affinity;
+  const int chunk = (ntiles + workers - 1) / workers;
+  p.bounds.resize(static_cast<std::size_t>(workers) + 1);
+  for (int w = 0; w <= workers; ++w)
+    p.bounds[static_cast<std::size_t>(w)] = std::min(ntiles, w * chunk);
+  return p;
+}
+
+namespace {
+
+// Marks the pool the current thread is a worker of, so a nested run() on
+// the same pool degrades to inline execution instead of deadlocking on its
+// own barrier.
+thread_local const WorkerPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+struct WorkerPool::Sync {
+  std::mutex run_mu;  // serializes whole tasks across master threads
+
+  std::mutex mu;  // guards the fields below
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* task = nullptr;
+  long epoch = 0;
+  int pending = 0;
+  bool stop = false;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+};
+
+WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
+    : affinity_(affinity), sync_(new Sync) {
+  if (threads < 1) threads = 1;
+  workers_.resize(static_cast<std::size_t>(threads));
+
+  const std::vector<int> order = topo.pin_order(affinity);
+  for (int w = 0; w < threads; ++w) {
+    if (!order.empty()) {
+      const int cpu = order[static_cast<std::size_t>(w) % order.size()];
+      workers_[static_cast<std::size_t>(w)].cpu = cpu;
+      workers_[static_cast<std::size_t>(w)].node = topo.node_of(cpu);
+    }
+  }
+
+  for (int w = 0; w < threads; ++w) {
+    sync_->threads.emplace_back([this, w] {
+      tls_current_pool = this;
+      const int cpu = workers_[static_cast<std::size_t>(w)].cpu;
+      if (cpu >= 0) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(cpu), &set);
+        // Best effort: a shrunken cgroup cpuset (containers) can reject
+        // the pin; the worker then floats like Affinity::None.
+        (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+      }
+      Sync& s = *sync_;
+      long seen = 0;
+      for (;;) {
+        const std::function<void(int)>* task = nullptr;
+        {
+          std::unique_lock<std::mutex> lock(s.mu);
+          s.work_cv.wait(lock, [&] { return s.stop || s.epoch != seen; });
+          if (s.stop) return;
+          seen = s.epoch;
+          task = s.task;
+        }
+        try {
+          (*task)(w);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s.mu);
+          if (!s.first_error) s.first_error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(s.mu);
+          if (--s.pending == 0) s.done_cv.notify_all();
+        }
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(sync_->mu);
+    sync_->stop = true;
+  }
+  sync_->work_cv.notify_all();
+  for (std::thread& t : sync_->threads) t.join();
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (tls_current_pool == this) {
+    // Nested run() from one of our own workers: execute inline serially.
+    for (int w = 0; w < threads(); ++w) fn(w);
+    return;
+  }
+  Sync& s = *sync_;
+  std::lock_guard<std::mutex> task_lock(s.run_mu);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.task = &fn;
+    s.pending = threads();
+    s.first_error = nullptr;
+    ++s.epoch;
+    s.work_cv.notify_all();
+    s.done_cv.wait(lock, [&] { return s.pending == 0; });
+    s.task = nullptr;
+    err = s.first_error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void WorkerPool::parallel_for(int begin, int end,
+                              const std::function<void(int)>& fn) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  const PlacementPlan place = balanced_placement(n, threads(), affinity_);
+  run([&](int w) {
+    const auto [t0, t1] = place.tiles_of(w);
+    for (int i = t0; i < t1; ++i) fn(begin + i);
+  });
+}
+
+void WorkerPool::ensure_arena(std::size_t nbufs, std::size_t doubles_each) {
+  // Arenas are worker-owned and may be resized by a concurrently running
+  // pool task (folded3d_advance grows a mismatched window mid-stage), so
+  // only the owner inspects its vector: the satisfied-check runs inside
+  // the task, where run()'s serialization orders it against other tasks.
+  run([&](int w) {
+    std::vector<AlignedBuffer>& a = arena(w);
+    if (a.size() == nbufs && (nbufs == 0 || a[0].size() >= doubles_each))
+      return;
+    a.clear();
+    // AlignedBuffer zero-fills on construction: the memset happens on this
+    // (pinned) worker, so first-touch policy places the pages on its node.
+    for (std::size_t i = 0; i < nbufs; ++i) a.emplace_back(doubles_each);
+  });
+}
+
+std::shared_ptr<WorkerPool> shared_pool(int threads, Affinity affinity) {
+  if (threads <= 0) threads = hardware_threads();
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, std::shared_ptr<WorkerPool>>* pools =
+      new std::map<std::pair<int, int>, std::shared_ptr<WorkerPool>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*pools)[{threads, static_cast<int>(affinity)}];
+  if (!slot) slot = std::make_shared<WorkerPool>(threads, affinity);
+  return slot;
+}
+
+}  // namespace sf

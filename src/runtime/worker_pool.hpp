@@ -1,0 +1,143 @@
+/// \file
+/// \brief Persistent, topology-pinned worker pool — the execution substrate
+/// of the split-tiled stages.
+///
+/// The tiled wedge schedule used to open an OpenMP parallel region per
+/// stage, with no control over where threads ran or whose memory their
+/// tiles touched. `sf::WorkerPool` replaces that with a runtime the library
+/// owns: `threads` persistent workers, created once and parked on a
+/// condition variable between tasks, optionally pinned to CPUs chosen from
+/// the machine Topology by an Affinity policy. Persistent + pinned workers
+/// are what make *first-touch* placement meaningful: memory a worker
+/// allocates or first writes (its workspace arena, its share of a field
+/// buffer) lands on that worker's NUMA node and stays useful for every
+/// subsequent super-step, because the same worker keeps owning the same
+/// tiles (see PlacementPlan).
+///
+/// Scheduling is deliberately static — `run()` hands every worker its index
+/// and the caller maps indices to contiguous tile ranges
+/// (balanced_placement(), the OpenMP `schedule(static)` shape) — so results
+/// are bitwise independent of the policy: placement moves *where* a tile
+/// computes, never *what* it computes.
+///
+/// Pools are shared per (threads, affinity) configuration via
+/// shared_pool(); Engine::prepare builds or reuses them so the execute path
+/// never pays thread creation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "runtime/topology.hpp"
+
+namespace sf {
+
+/// Which pool worker owns which contiguous run of wedge tiles (tile indices
+/// along the tiled dimension). Negotiated at plan time alongside
+/// tile/time_block (ExecutionPlan::placement) and recomputed identically by
+/// the tiling engine — balanced_placement() is the single source of the
+/// mapping, so the plan can never drift from what executes. First-touch
+/// initialization walks the same map so each worker's tiles live on its
+/// NUMA node.
+struct PlacementPlan {
+  int workers = 0;  ///< Pool size (0 = no pool; the run is serial).
+  Affinity affinity = Affinity::None;  ///< Policy the pool pins with.
+  std::vector<int> bounds;  ///< size workers+1: worker w owns tile indices
+                            ///< [bounds[w], bounds[w+1]).
+
+  /// Number of tiles placed (0 for an empty plan).
+  int ntiles() const { return bounds.empty() ? 0 : bounds.back(); }
+  /// The tile range worker `w` owns.
+  std::pair<int, int> tiles_of(int w) const {
+    return {bounds[static_cast<std::size_t>(w)],
+            bounds[static_cast<std::size_t>(w) + 1]};
+  }
+};
+
+/// The static ownership map: `ntiles` tiles over `workers` workers in
+/// contiguous chunks of ceil(ntiles/workers) — the exact shape OpenMP's
+/// `schedule(static)` used, so the pool rewrite preserves tile-to-stage
+/// grouping (and therefore bitwise results trivially, as tiles are
+/// independent).
+PlacementPlan balanced_placement(int ntiles, int workers, Affinity affinity);
+
+/// Persistent worker pool with optional topology pinning. Workers are
+/// spawned in the constructor, parked between tasks, and joined in the
+/// destructor. Thread-safe: concurrent run() calls from distinct master
+/// threads serialize on an internal mutex (each task still runs on all
+/// workers). A worker that calls run() on its own pool executes the task
+/// inline serially instead of deadlocking (documented degenerate case).
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (>= 1) pinned per `affinity` against `topo`.
+  /// With more workers than pinnable CPUs the pin order wraps around
+  /// (oversubscription is legal and deadlock-free; workers just share
+  /// CPUs).
+  explicit WorkerPool(int threads, Affinity affinity = Affinity::None,
+                      const Topology& topo = Topology::system());
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of workers.
+  int threads() const { return static_cast<int>(workers_.size()); }
+  /// The placement policy the pool was built with.
+  Affinity affinity() const { return affinity_; }
+  /// CPU id worker `w` is pinned to (-1 when unpinned).
+  int cpu_of_worker(int w) const { return workers_[static_cast<std::size_t>(w)].cpu; }
+  /// NUMA node of worker `w`'s CPU (-1 when unpinned/unknown).
+  int node_of_worker(int w) const { return workers_[static_cast<std::size_t>(w)].node; }
+
+  /// Runs `fn(worker_index)` on every worker and returns when all have
+  /// finished (one task, one barrier). Exceptions thrown by workers are
+  /// captured; the first one is rethrown on the calling thread after the
+  /// barrier.
+  void run(const std::function<void(int)>& fn);
+
+  /// Static parallel for: splits [begin, end) into the
+  /// balanced_placement() chunks and calls `fn(i)` for each index on its
+  /// owning worker.
+  void parallel_for(int begin, int end, const std::function<void(int)>& fn);
+
+  /// Worker `w`'s scratch-buffer arena. The buffers live for the pool's
+  /// lifetime and are allocated *by* worker `w` (ensure_arena), so their
+  /// pages are first-touched on the worker's NUMA node. The tiled 3-D
+  /// folded stage keeps its sliding plane window here.
+  std::vector<AlignedBuffer>& arena(int w) {
+    return workers_[static_cast<std::size_t>(w)].arena;
+  }
+
+  /// Ensures every worker's arena holds exactly `nbufs` buffers of at
+  /// least `doubles_each` doubles, (re)allocated on the owning worker so
+  /// first touch places the pages. No-op when already satisfied (the
+  /// workspace survives across Engine::prepare calls and runs).
+  void ensure_arena(std::size_t nbufs, std::size_t doubles_each);
+
+ private:
+  struct Worker {
+    std::vector<AlignedBuffer> arena;
+    int cpu = -1;
+    int node = -1;
+  };
+
+  struct Sync;  // pimpl: mutexes/condvars/thread handles
+
+  std::vector<Worker> workers_;
+  Affinity affinity_ = Affinity::None;
+  std::unique_ptr<Sync> sync_;
+};
+
+/// The process-wide pool for a (threads, affinity) configuration, built on
+/// first request and reused for the process lifetime (workers park between
+/// tasks, so idle pools cost nothing but memory). `threads` <= 0 resolves
+/// to hardware_threads(). This is what Engine::prepare "builds or reuses";
+/// direct run_tile_plan() callers resolve the same pool, so the prepared
+/// path and the raw path share workers.
+std::shared_ptr<WorkerPool> shared_pool(int threads, Affinity affinity);
+
+}  // namespace sf

@@ -1,9 +1,8 @@
 #include "tiling/split_tiling.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "fold/folding_plan.hpp"
@@ -38,6 +37,7 @@ struct WedgePlan {
   int tile = 0;
   int H = 0;      // super-steps per time block
   int threads = 1;
+  Affinity affinity = Affinity::None;
   bool blocked = true;  // false: domain too small, run unblocked
 };
 
@@ -53,40 +53,73 @@ WedgePlan make_plan(int n, int slope, int super_steps, const TilePlan& opt,
   w.tile = g.tile;
   w.H = std::max(1, g.time_block / m);
   w.threads = g.threads;
+  w.affinity = opt.affinity;
   w.blocked = g.blocked;
   return w;
 }
 
+/// The pool of a wedge plan: the shared (threads, affinity) pool for
+/// parallel blocked runs, none for serial ones (a one-worker stage runs
+/// inline on the calling thread, exactly like the old OpenMP master).
+std::shared_ptr<WorkerPool> plan_pool(const WedgePlan& w) {
+  if (!w.blocked || w.threads <= 1) return nullptr;
+  return shared_pool(w.threads, w.affinity);
+}
+
 /// The generic wedge schedule (tiles = triangles, boundaries = inverted
 /// triangles; Jacobi parity buffers make partial-level reads exact).
-/// adv(in, out, lo, hi) performs one super-step on [lo, hi) of the tiled
-/// dimension; `cursor` tracks which buffer holds the current state.
+/// adv(in, out, lo, hi, worker) performs one super-step on [lo, hi) of the
+/// tiled dimension (`worker` is the executing pool worker, -1 on the
+/// calling thread); `cursor` tracks which buffer holds the current state.
+///
+/// Stages run as pool tasks: every worker walks exactly the tile range the
+/// balanced_placement() ownership map assigns it — the same contiguous
+/// chunks OpenMP's schedule(static) produced, and the same map the planner
+/// reports (ExecutionPlan::placement) and first_touch() initializes by, so
+/// a worker's tiles stay on its NUMA node across all super-steps. The
+/// barrier between the up (triangles) and down (inverted triangles) stages
+/// is the pool task boundary.
 template <class G, class Adv>
-int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv) {
+int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
+                   WorkerPool* pool) {
   G* bufs[2] = {&a, &b};
   int cursor = 0;
   const int ntiles = (w.n + w.tile - 1) / w.tile;
+  const int nworkers = pool != nullptr ? pool->threads() : 1;
+  const PlacementPlan place = balanced_placement(ntiles, nworkers, w.affinity);
+  auto up_tile = [&](int kt, int hb, int wk) {
+    const int x0 = kt * w.tile;
+    const int x1 = std::min(w.n, x0 + w.tile);
+    for (int sg = 1; sg <= hb; ++sg) {
+      const int lo = x0 == 0 ? 0 : x0 + sg * w.slope;
+      const int hi = x1 == w.n ? w.n : x1 - sg * w.slope;
+      if (lo < hi)
+        adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi,
+            wk);
+    }
+  };
+  auto down_tile = [&](int kt, int hb, int wk) {
+    const int xc = kt * w.tile;
+    for (int sg = 1; sg <= hb; ++sg) {
+      const int lo = std::max(0, xc - sg * w.slope);
+      const int hi = std::min(w.n, xc + sg * w.slope);
+      adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi, wk);
+    }
+  };
   for (int s0 = 0; s0 < super_steps; s0 += w.H) {
     const int hb = std::min(w.H, super_steps - s0);
-#pragma omp parallel for schedule(static) num_threads(w.threads)
-    for (int kt = 0; kt < ntiles; ++kt) {
-      const int x0 = kt * w.tile;
-      const int x1 = std::min(w.n, x0 + w.tile);
-      for (int sg = 1; sg <= hb; ++sg) {
-        const int lo = x0 == 0 ? 0 : x0 + sg * w.slope;
-        const int hi = x1 == w.n ? w.n : x1 - sg * w.slope;
-        if (lo < hi)
-          adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi);
-      }
-    }
-#pragma omp parallel for schedule(static) num_threads(w.threads)
-    for (int kt = 1; kt < ntiles; ++kt) {
-      const int xc = kt * w.tile;
-      for (int sg = 1; sg <= hb; ++sg) {
-        const int lo = std::max(0, xc - sg * w.slope);
-        const int hi = std::min(w.n, xc + sg * w.slope);
-        adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi);
-      }
+    if (pool != nullptr) {
+      pool->run([&](int wk) {
+        const auto [t0, t1] = place.tiles_of(wk);
+        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, wk);
+      });
+      pool->run([&](int wk) {
+        const auto [t0, t1] = place.tiles_of(wk);
+        for (int kt = std::max(1, t0); kt < t1; ++kt) down_tile(kt, hb, wk);
+      });
+    } else {
+      for (int kt = 0; kt < ntiles; ++kt) up_tile(kt, hb, -1);
+      for (int kt = 1; kt < ntiles; ++kt) down_tile(kt, hb, -1);
     }
     cursor = (cursor + hb) & 1;
   }
@@ -211,8 +244,10 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   const int rem = tsteps - super * m;
   WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m,
                           sizeof(double));
+  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
 
-  auto adv = [&](const FieldView1D& in, const FieldView1D& out, int lo, int hi) {
+  auto adv = [&](const FieldView1D& in, const FieldView1D& out, int lo, int hi,
+                 int) {
     switch (mth) {
       case Method::Ours:
         tl_region_step_1d<W>(p, src, kk, n, in.data(), out.data(), lo, hi);
@@ -233,12 +268,12 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
 
   int cursor = 0;
   if (w.blocked) {
-    cursor = wedge_schedule(a, b, w, super, adv);
+    cursor = wedge_schedule(a, b, w, super, adv, pool.get());
   } else {
     // Domain too small to tile: plain full sweeps.
     const FieldView1D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
-      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, n_tiled);
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, n_tiled, -1);
       cursor ^= 1;
     }
   }
@@ -283,8 +318,10 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
   const int rem = tsteps - super * m;
   WedgePlan w = make_plan(ny, m * r, super, opt, m,
                           sizeof(double) * static_cast<long>(nx));
+  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
 
-  auto adv = [&](const FieldView2D& in, const FieldView2D& out, int lo, int hi) {
+  auto adv = [&](const FieldView2D& in, const FieldView2D& out, int lo, int hi,
+                 int) {
     switch (mth) {
       case Method::Ours:
         step_rows_tl2d<W>(p, in, out, lo, hi);
@@ -303,11 +340,11 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
 
   int cursor = 0;
   if (w.blocked) {
-    cursor = wedge_schedule(a, b, w, super, adv);
+    cursor = wedge_schedule(a, b, w, super, adv, pool.get());
   } else {
     const FieldView2D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
-      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, ny);
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, ny, -1);
       cursor ^= 1;
     }
   }
@@ -357,14 +394,22 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
   WedgePlan w = make_plan(
       nz, m * r, super, opt, m,
       sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
+  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
 
-  auto adv = [&](const FieldView3D& in, const FieldView3D& out, int lo, int hi) {
+  auto adv = [&](const FieldView3D& in, const FieldView3D& out, int lo, int hi,
+                 int wk) {
     switch (mth) {
       case Method::Ours:
         step_planes_tl3d<W>(p, in, out, lo, hi);
         break;
       case Method::Ours2: {
-        thread_local std::vector<AlignedBuffer> window;
+        // The sliding plane window lives in the owning worker's pool arena
+        // (allocated there, so its pages sit on the worker's NUMA node;
+        // Engine::prepare pre-sizes it). Off-pool callers fall back to a
+        // calling-thread-local window.
+        thread_local std::vector<AlignedBuffer> tls_window;
+        std::vector<AlignedBuffer>& window =
+            pool != nullptr && wk >= 0 ? pool->arena(wk) : tls_window;
         folded3d_advance<W>(p, plan, lam, in, out, window, lo, hi);
         break;
       }
@@ -379,11 +424,11 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
 
   int cursor = 0;
   if (w.blocked) {
-    cursor = wedge_schedule(a, b, w, super, adv);
+    cursor = wedge_schedule(a, b, w, super, adv, pool.get());
   } else {
     const FieldView3D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
-      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, nz);
+      adv(*bufs[cursor], *bufs[cursor ^ 1], 0, nz, -1);
       cursor ^= 1;
     }
   }
@@ -410,7 +455,7 @@ WedgeGeometry negotiate_wedge(int n_tiled, int slope, int fold_m, int tsteps,
   const int m = std::max(1, fold_m);
   const int super_steps = tsteps / m;
   WedgeGeometry g;
-  g.threads = requested.threads > 0 ? requested.threads : omp_get_max_threads();
+  g.threads = requested.threads > 0 ? requested.threads : hardware_threads();
   if (requested.tile > 0) {
     g.tile = requested.tile;
   } else {

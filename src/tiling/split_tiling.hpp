@@ -4,8 +4,11 @@
 /// The iteration space is tessellated along one spatial dimension (x in 1-D,
 /// y in 2-D, z in 3-D) into *triangles* (shrinking tiles) and *inverted
 /// triangles* (expanding wedges rooted at tile boundaries), exactly the 1-D
-/// scheme of the paper's Figure 7. Each stage is embarrassingly parallel
-/// (OpenMP); tiles never recompute a point (redundancy-free). Jacobi double
+/// scheme of the paper's Figure 7. Each stage is embarrassingly parallel —
+/// executed on the library-owned, optionally topology-pinned WorkerPool
+/// (runtime/worker_pool.hpp) with the static balanced_placement() ownership
+/// map, so the same worker keeps the same tile columns across super-steps;
+/// tiles never recompute a point (redundancy-free). Jacobi double
 /// buffering makes the wedge reads exact: position x always holds its two
 /// most recent time levels, one per parity.
 ///
@@ -28,6 +31,7 @@
 #include "grid/grid.hpp"
 #include "kernels/api.hpp"
 #include "kernels/registry.hpp"
+#include "runtime/worker_pool.hpp"
 #include "stencil/pattern.hpp"
 
 namespace sf {
@@ -45,7 +49,12 @@ struct TilePlan {
   Isa isa = Isa::Auto;            ///< ISA level; Auto = widest supported.
   int tile = 0;        ///< Tile extent along the tiled dimension (0 = auto).
   int time_block = 0;  ///< Time steps per block (0 = auto).
-  int threads = 0;     ///< OpenMP threads per stage (0 = OpenMP default).
+  int threads = 0;     ///< Pool workers per stage (0 = hardware threads).
+  Affinity affinity = Affinity::None;
+  ///< Worker placement policy: the stages run on the shared_pool() for
+  ///< (threads, affinity), so a prepared Engine run and a direct
+  ///< run_tile_plan() call land on the same pinned workers. Results are
+  ///< bitwise identical across policies; only locality changes.
 };
 
 /// \deprecated Old name of TilePlan, kept for one release. New code should
@@ -57,7 +66,7 @@ using TiledOptions = TilePlan;
 struct WedgeGeometry {
   int tile = 0;        ///< Tile extent along the tiled dimension.
   int time_block = 0;  ///< Time steps per block (a multiple of fold depth).
-  int threads = 1;     ///< OpenMP threads each stage runs with.
+  int threads = 1;     ///< Pool workers each stage runs with.
   bool blocked = false;  ///< False: the domain is too small for disjoint
                          ///< wedges at this geometry; the engine runs plain
                          ///< full sweeps instead.
@@ -65,7 +74,7 @@ struct WedgeGeometry {
 
 /// Fills the unset (zero) fields of `requested` with the library's
 /// heuristics and returns the resulting geometry:
-///  * threads — OpenMP's max thread count;
+///  * threads — the hardware thread count;
 ///  * tile — max(4 * slope, n_tiled / threads): one tile per thread, wide
 ///    enough that a tile outlives its wedge erosion (paper §3.4's "tile
 ///    size several times the slope"). Serial runs (threads == 1) instead

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -729,6 +730,72 @@ TEST(TuneBuckets, NearbyShapesHitExactShapesWin) {
   cache.store(nearby, TunedGeometry{512, 32});
   EXPECT_EQ(cache.lookup_rounded(nearby)->tile, 512);
   EXPECT_EQ(cache.lookup_rounded(exact)->tile, 640);
+}
+
+// ---------------------------------------------------------------------------
+// Validation toggle: SF_VALIDATE=0 / ExecOptions::validate drops the
+// per-call view checks (the HaloPolicy::Clean streaming fast path) —
+// invalid views must still throw by default.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, InvalidViewsThrowByDefault) {
+  ExecOptions opts;
+  opts.tsteps = 6;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_TRUE(ps.validates());
+  const int h = ps.halo();
+  Grid2D a(48, 64, h), b(48, 64, h), wrong(24, 24, h);
+  EXPECT_THROW(ps.run(a.view(), wrong.view(), 1), std::invalid_argument);
+  EXPECT_THROW(ps.run(a.view(), a.view(), 1), std::invalid_argument);
+}
+
+TEST(Engine, ValidationOffMatchesValidatedRunBitwise) {
+  ExecOptions opts;
+  opts.tsteps = 4;
+  opts.halo_policy = HaloPolicy::Clean;
+  PreparedStencil checked =
+      Engine::instance().prepare(Preset::Heat2D, Extents{80, 64}, opts);
+  opts.validate = false;
+  PreparedStencil unchecked =
+      Engine::instance().prepare(Preset::Heat2D, Extents{80, 64}, opts);
+  EXPECT_TRUE(checked.validates());
+  EXPECT_FALSE(unchecked.validates());
+  // The flag is part of the effective request: distinct prepared states.
+  EXPECT_NE(&checked.plan(), &unchecked.plan());
+
+  const int h = checked.halo();
+  Grid2D va(64, 80, h), vb(64, 80, h), ua(64, 80, h), ub(64, 80, h);
+  fill_random(va, 23);
+  copy(va, vb);
+  copy(va, ua);
+  copy(va, ub);
+  for (int t = 0; t < 5; ++t) {
+    checked.advance(va.view(), vb.view(), 1);
+    unchecked.advance(ua.view(), ub.view(), 1);
+  }
+  EXPECT_EQ(max_abs_diff(va, ua), 0.0);
+}
+
+TEST(Engine, EnvValidateZeroDisablesChecks) {
+  ASSERT_EQ(setenv("SF_VALIDATE", "0", 1), 0);
+  ExecOptions opts;
+  opts.tsteps = 6;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_FALSE(ps.validates());
+  unsetenv("SF_VALIDATE");
+  // Cleared env: a fresh prepare validates again (and is not the cached
+  // unvalidated preparation).
+  PreparedStencil again =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_TRUE(again.validates());
+  // SF_VALIDATE=1 (or anything but "0") keeps validation on.
+  ASSERT_EQ(setenv("SF_VALIDATE", "1", 1), 0);
+  PreparedStencil on =
+      Engine::instance().prepare(Preset::Heat2D, Extents{64, 48}, opts);
+  EXPECT_TRUE(on.validates());
+  unsetenv("SF_VALIDATE");
 }
 
 TEST(TuneBuckets, BucketedLookupsNeverCrossKernelOrRadiusKeys) {

@@ -84,6 +84,42 @@ TEST(ExecutionPlan, OnForcesTiledWithNegotiatedGeometry) {
   EXPECT_EQ(plan.tile.time_block % s.kernel().fold_depth, 0);
 }
 
+TEST(ExecutionPlan, PlacementNegotiatedWithGeometry) {
+  Solver s = Solver::make(Preset::Heat2D)
+                 .size(512, 384)
+                 .steps(16)
+                 .method(Method::Ours2)
+                 .tiling(Tiling::On)
+                 .threads(3)
+                 .affinity(Affinity::Compact);
+  const ExecutionPlan& plan = s.plan();
+  ASSERT_TRUE(plan.tiled);
+  ASSERT_TRUE(plan.blocked);
+  EXPECT_EQ(plan.tile.affinity, Affinity::Compact);
+  const PlacementPlan& place = plan.placement;
+  EXPECT_EQ(place.workers, 3);
+  EXPECT_EQ(place.affinity, Affinity::Compact);
+  // Placement covers exactly the negotiated tile count, in worker order.
+  const int ntiles = (384 + plan.tile.tile - 1) / plan.tile.tile;
+  EXPECT_EQ(place.ntiles(), ntiles);
+  int covered = 0;
+  for (int w = 0; w < place.workers; ++w) {
+    const auto [t0, t1] = place.tiles_of(w);
+    EXPECT_LE(t0, t1);
+    covered += t1 - t0;
+  }
+  EXPECT_EQ(covered, ntiles);
+  // Serial plans carry no placement.
+  Solver serial = Solver::make(Preset::Heat2D)
+                      .size(512, 384)
+                      .steps(16)
+                      .method(Method::Ours2)
+                      .tiling(Tiling::On)
+                      .threads(1);
+  EXPECT_TRUE(serial.plan().tiled);
+  EXPECT_EQ(serial.plan().placement.workers, 0);
+}
+
 TEST(ExecutionPlan, OffAndNonTileableKernelsStayUntiled) {
   Solver off = Solver::make(Preset::Heat2D).size(512, 384).steps(16).tiling(
       Tiling::Off);
@@ -220,6 +256,75 @@ TEST(Tuner, CachedPlanReusedWithoutRemeasure) {
   other.run();
   EXPECT_EQ(cache.stored_count(), before + 2);
   cache.clear();
+}
+
+// The search measures (tile × time_block) pairs and candidate thread
+// counts, not just tile extents: whatever wins, the recorded geometry is a
+// fully-specified pair (and optionally a thread count) that deploys as a
+// blocked wedge schedule — and re-deploys identically from the cache.
+TEST(Tuner, RecordsPairAndThreadAxis) {
+  TuneCache& cache = TuneCache::instance();
+  cache.clear();
+
+  Solver s = Solver::make(Preset::Heat2D)
+                 .size(320, 256)
+                 .steps(16)
+                 .method(Method::Ours2)
+                 .tiling(Tiling::On)
+                 .threads(2)
+                 .tune(true);
+  s.run();
+  EXPECT_EQ(s.plan().source, PlanSource::Tuned);
+
+  // The stored entry is keyed on the *requested* resolved thread count...
+  const TuneKey key = make_tune_key(s.kernel(), 1, 320, 256, 1, 16, 2);
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->tile, 0);
+  EXPECT_GT(hit->time_block, 0);  // the pair was recorded, not re-derived
+  // ...and its thread axis either kept the request (0) or settled on a
+  // strictly smaller measured count.
+  EXPECT_GE(hit->threads, 0);
+  EXPECT_LE(hit->threads, 2);
+  // Whatever was recorded deploys: the executed plan carries it.
+  EXPECT_EQ(s.plan().tile.tile, hit->tile);
+  EXPECT_EQ(s.plan().tile.time_block, hit->time_block);
+  if (hit->threads > 0) EXPECT_EQ(s.plan().tile.threads, hit->threads);
+
+  // A fresh Solver recalls and deploys the identical geometry.
+  Solver again = Solver::make(Preset::Heat2D)
+                     .size(320, 256)
+                     .steps(16)
+                     .method(Method::Ours2)
+                     .tiling(Tiling::On)
+                     .threads(2)
+                     .tune(true);
+  EXPECT_EQ(again.plan().source, PlanSource::Cached);
+  EXPECT_EQ(again.plan().tile.tile, s.plan().tile.tile);
+  EXPECT_EQ(again.plan().tile.time_block, s.plan().tile.time_block);
+  EXPECT_EQ(again.plan().tile.threads, s.plan().tile.threads);
+  cache.clear();
+}
+
+TEST(Tuner, V1CacheLinesStillParse) {
+  // Pre-thread-axis caches keep working: a v1 line (no tuned_threads
+  // column) loads with threads = 0, i.e. "deploy with the key's count".
+  const std::string path = ::testing::TempDir() + "sf_tune_cache_v1.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("v1 ours-2step 1 2 1 128 96 1 10 4 40 6\n", f);
+  std::fputs("v2 ours-2step 1 2 1 256 96 1 10 4 40 6 2\n", f);
+  std::fclose(f);
+  TuneCache c;
+  EXPECT_EQ(c.load_file(path), 2u);
+  const KernelInfo& k = require_kernel(Method::Ours2, 2, Isa::Avx2);
+  auto v1 = c.lookup(make_tune_key(k, 1, 128, 96, 1, 10, 4));
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->threads, 0);
+  auto v2 = c.lookup(make_tune_key(k, 1, 256, 96, 1, 10, 4));
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->threads, 2);
+  std::remove(path.c_str());
 }
 
 TEST(Tuner, TunedRunStaysExact) {

@@ -1,0 +1,357 @@
+// The runtime layer: topology discovery against fixture sysfs trees, pin
+// orders per affinity policy, the persistent worker pool (coverage,
+// exceptions, oversubscription, reuse across Engine::prepare calls),
+// first-touch initialization, and the end-to-end guarantee that placement
+// never changes results — pinned and unpinned runs agree bitwise for all
+// nine presets.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "grid/grid_utils.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace sf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture sysfs tree: 2 packages x 2 cores x SMT-2 = 8 logical CPUs,
+// one NUMA node per package. Physical siblings: (0,4) (1,5) (2,6) (3,7).
+// ---------------------------------------------------------------------------
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << contents;
+}
+
+std::string make_fixture_tree() {
+  const std::string root = ::testing::TempDir() + "sf_sysfs_fixture";
+  auto mkdirs = [](const std::string& p) {
+    std::string cur;
+    for (std::size_t i = 0; i <= p.size(); ++i) {
+      if (i == p.size() || p[i] == '/') {
+        if (!cur.empty()) ::mkdir(cur.c_str(), 0755);
+      }
+      if (i < p.size()) cur += p[i];
+    }
+  };
+  struct Cpu {
+    int id, core, package;
+  };
+  // cpus 0,1 = package 0 cores 0,1; cpus 2,3 = package 1 cores 0,1;
+  // cpus 4-7 = their SMT siblings.
+  const Cpu cpus[] = {{0, 0, 0}, {1, 1, 0}, {2, 0, 1}, {3, 1, 1},
+                      {4, 0, 0}, {5, 1, 0}, {6, 0, 1}, {7, 1, 1}};
+  mkdirs(root + "/cpu");
+  write_file(root + "/cpu/online", "0-7\n");
+  for (const Cpu& c : cpus) {
+    const std::string base = root + "/cpu/cpu" + std::to_string(c.id);
+    mkdirs(base + "/topology");
+    write_file(base + "/topology/core_id", std::to_string(c.core) + "\n");
+    write_file(base + "/topology/physical_package_id",
+               std::to_string(c.package) + "\n");
+  }
+  mkdirs(root + "/node/node0");
+  mkdirs(root + "/node/node1");
+  write_file(root + "/node/node0/cpulist", "0-1,4-5\n");
+  write_file(root + "/node/node1/cpulist", "2-3,6-7\n");
+  return root;
+}
+
+TEST(Topology, ParsesCpuLists) {
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("5\n"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+  // Malformed chunks are skipped, the parseable remainder kept.
+  EXPECT_EQ(parse_cpu_list("x,7,abc-3"), (std::vector<int>{7}));
+  // Duplicates collapse.
+  EXPECT_EQ(parse_cpu_list("2,2,1-2"), (std::vector<int>{1, 2}));
+}
+
+TEST(Topology, DiscoversFixtureTree) {
+  const Topology t = Topology::discover(make_fixture_tree());
+  EXPECT_EQ(t.logical_cpus(), 8);
+  EXPECT_EQ(t.physical_cores(), 4);
+  EXPECT_EQ(t.packages(), 2);
+  EXPECT_EQ(t.numa_nodes(), 2);
+  EXPECT_TRUE(t.smt());
+  EXPECT_EQ(t.cores_per_node(), 2);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(5), 0);
+  EXPECT_EQ(t.node_of(2), 1);
+  EXPECT_EQ(t.node_of(7), 1);
+  EXPECT_EQ(t.node_of(99), -1);
+  // SMT ranks: the sibling of each core comes second in id order.
+  const auto& cpus = t.cpus();
+  EXPECT_EQ(cpus[0].smt_rank, 0);  // cpu0
+  EXPECT_EQ(cpus[4].smt_rank, 1);  // cpu4, sibling of cpu0
+}
+
+TEST(Topology, PinOrders) {
+  const Topology t = Topology::discover(make_fixture_tree());
+  // None: no pinning at all.
+  EXPECT_TRUE(t.pin_order(Affinity::None).empty());
+  // Compact: fill node 0 (package 0) core by core with its SMT sibling
+  // adjacent, then node 1.
+  EXPECT_EQ(t.pin_order(Affinity::Compact),
+            (std::vector<int>{0, 4, 1, 5, 2, 6, 3, 7}));
+  // Scatter: round-robin across the two nodes, whole cores before any SMT
+  // sibling — two workers land on two different nodes.
+  EXPECT_EQ(t.pin_order(Affinity::Scatter),
+            (std::vector<int>{0, 2, 1, 3, 4, 6, 5, 7}));
+}
+
+TEST(Topology, FallsBackFlatWithoutSysfs) {
+  const Topology t =
+      Topology::discover(::testing::TempDir() + "sf_sysfs_missing");
+  EXPECT_EQ(t.logical_cpus(), hardware_threads());
+  EXPECT_EQ(t.numa_nodes(), 1);
+  EXPECT_EQ(t.packages(), 1);
+  EXPECT_FALSE(t.smt());
+  EXPECT_TRUE(t.pin_order(Affinity::None).empty());
+  // Flat still yields usable pin orders (every cpu exactly once).
+  EXPECT_EQ(static_cast<int>(t.pin_order(Affinity::Compact).size()),
+            t.logical_cpus());
+}
+
+TEST(Topology, AffinityNames) {
+  EXPECT_STREQ(affinity_name(Affinity::None), "none");
+  EXPECT_STREQ(affinity_name(Affinity::Compact), "compact");
+  EXPECT_STREQ(affinity_name(Affinity::Scatter), "scatter");
+  EXPECT_EQ(affinity_from_name("compact"), Affinity::Compact);
+  EXPECT_EQ(affinity_from_name("scatter"), Affinity::Scatter);
+  EXPECT_EQ(affinity_from_name("none"), Affinity::None);
+  EXPECT_EQ(affinity_from_name(""), Affinity::None);
+  EXPECT_EQ(affinity_from_name("garbage"), Affinity::None);
+}
+
+// ---------------------------------------------------------------------------
+// PlacementPlan
+// ---------------------------------------------------------------------------
+
+TEST(Placement, BalancedCoversEveryTileOnce) {
+  const PlacementPlan p = balanced_placement(10, 3, Affinity::Compact);
+  EXPECT_EQ(p.workers, 3);
+  EXPECT_EQ(p.affinity, Affinity::Compact);
+  EXPECT_EQ(p.ntiles(), 10);
+  // ceil(10/3) = 4: OpenMP schedule(static) chunking.
+  EXPECT_EQ(p.tiles_of(0), (std::pair<int, int>{0, 4}));
+  EXPECT_EQ(p.tiles_of(1), (std::pair<int, int>{4, 8}));
+  EXPECT_EQ(p.tiles_of(2), (std::pair<int, int>{8, 10}));
+}
+
+TEST(Placement, MoreWorkersThanTilesLeavesEmptyTails) {
+  const PlacementPlan p = balanced_placement(2, 4, Affinity::None);
+  EXPECT_EQ(p.tiles_of(0), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(p.tiles_of(1), (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(p.tiles_of(2), (std::pair<int, int>{2, 2}));  // empty
+  EXPECT_EQ(p.tiles_of(3), (std::pair<int, int>{2, 2}));  // empty
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPool, ParallelForCoversRangeExactlyOnce) {
+  WorkerPool pool(4, Affinity::None);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(WorkerPool, RunHandsEveryWorkerItsIndex) {
+  WorkerPool pool(3, Affinity::None);
+  std::vector<std::atomic<int>> seen(3);
+  for (int rep = 0; rep < 50; ++rep)  // repeated tasks reuse parked workers
+    pool.run([&](int w) { ++seen[static_cast<size_t>(w)]; });
+  for (int w = 0; w < 3; ++w) EXPECT_EQ(seen[static_cast<size_t>(w)], 50);
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptions) {
+  WorkerPool pool(2, Affinity::None);
+  EXPECT_THROW(pool.run([&](int w) {
+                 if (w == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ++ok; });
+  EXPECT_EQ(ok, 2);
+}
+
+// Oversubscription (far more workers than this machine has CPUs, pinned so
+// several workers share each CPU) must complete, not deadlock.
+TEST(WorkerPool, OversubscriptionCompletes) {
+  const int n = 4 * hardware_threads() + 3;
+  WorkerPool pool(n, Affinity::Compact);
+  std::atomic<int> ran{0};
+  pool.run([&](int) { ++ran; });
+  EXPECT_EQ(ran, n);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000,
+                    [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(WorkerPool, ArenaAllocatedPerWorker) {
+  WorkerPool pool(2, Affinity::None);
+  pool.ensure_arena(3, 256);
+  for (int w = 0; w < 2; ++w) {
+    ASSERT_EQ(pool.arena(w).size(), 3u);
+    EXPECT_GE(pool.arena(w)[0].size(), 256u);
+  }
+  // Distinct workers own distinct slabs.
+  EXPECT_NE(pool.arena(0)[0].data(), pool.arena(1)[0].data());
+  // Re-ensuring with satisfied sizes keeps the buffers (pointer-stable).
+  const double* p0 = pool.arena(0)[0].data();
+  pool.ensure_arena(3, 256);
+  EXPECT_EQ(pool.arena(0)[0].data(), p0);
+}
+
+TEST(WorkerPool, SharedPoolReusedPerConfiguration) {
+  const auto a = shared_pool(2, Affinity::None);
+  const auto b = shared_pool(2, Affinity::None);
+  EXPECT_EQ(a.get(), b.get());
+  // A different configuration is a different pool.
+  const auto c = shared_pool(2, Affinity::Compact);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->affinity(), Affinity::Compact);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: pool reuse, first touch, pinned bitwise agreement.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeEngine, PoolReusedAcrossPrepareCalls) {
+  ExecOptions opts;
+  opts.tiling = Tiling::On;
+  opts.threads = 2;
+  opts.tsteps = 8;
+  PreparedStencil p1 =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+  ASSERT_TRUE(p1.plan().tiled);
+  ASSERT_NE(p1.pool(), nullptr);
+  EXPECT_EQ(p1.pool()->threads(), 2);
+  // A different preparation with the same (threads, affinity) reuses the
+  // same pool — workers are per configuration, not per preparation.
+  PreparedStencil p2 =
+      Engine::instance().prepare(Preset::Heat2D, Extents{96, 80}, opts);
+  ASSERT_NE(p2.pool(), nullptr);
+  EXPECT_EQ(p1.pool(), p2.pool());
+  // Untiled preparations carry no pool.
+  ExecOptions off = opts;
+  off.tiling = Tiling::Off;
+  PreparedStencil p3 =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, off);
+  EXPECT_EQ(p3.pool(), nullptr);
+}
+
+TEST(RuntimeEngine, FirstTouchZeroesWholeBuffer) {
+  ExecOptions opts;
+  opts.tiling = Tiling::On;
+  opts.threads = 2;
+  opts.affinity = Affinity::Compact;
+  opts.tsteps = 8;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+  ASSERT_TRUE(ps.plan().tiled);
+  EXPECT_EQ(ps.affinity(), Affinity::Compact);
+  const int h = ps.halo();
+  Grid2D g(64, 72, h, /*zero_init=*/false);
+  ps.first_touch(g.view());
+  for (int y = -h; y < 64 + h; ++y)
+    for (int x = -h; x < 72 + h; ++x)
+      ASSERT_EQ(g.at(y, x), 0.0) << "y=" << y << " x=" << x;
+  // The placement the workers touched by is the plan's.
+  EXPECT_EQ(ps.plan().placement.workers, 2);
+  EXPECT_GT(ps.plan().placement.ntiles(), 0);
+}
+
+void apply_small_size(Solver& s, int dims) {
+  switch (dims) {
+    case 1: s.size(2000); break;
+    case 2: s.size(72, 64); break;
+    default: s.size(36, 24, 20); break;
+  }
+  s.steps(8);
+}
+
+// The load-bearing guarantee of the whole layer: placement policy moves
+// *where* a tile computes, never *what* it computes. Pinned and unpinned
+// runs of every preset must agree bit for bit (the pool path vs itself
+// under compact and scatter pinning, including first-touch workspaces).
+TEST(RuntimeEngine, PinnedMatchesUnpinnedBitwiseAllPresets) {
+  for (const auto& spec : all_presets()) {
+    Solver none = Solver::make(spec.id).tiling(Tiling::On).threads(2);
+    apply_small_size(none, spec.dims);
+    none.run();
+
+    for (Affinity aff : {Affinity::Compact, Affinity::Scatter}) {
+      Solver pinned =
+          Solver::make(spec.id).tiling(Tiling::On).threads(2).affinity(aff);
+      apply_small_size(pinned, spec.dims);
+      pinned.run();
+      double diff = 1;
+      switch (spec.dims) {
+        case 1:
+          diff = max_abs_diff(*none.workspace().a1, *pinned.workspace().a1);
+          break;
+        case 2:
+          diff = max_abs_diff(*none.workspace().a2, *pinned.workspace().a2);
+          break;
+        default:
+          diff = max_abs_diff(*none.workspace().a3, *pinned.workspace().a3);
+          break;
+      }
+      EXPECT_EQ(diff, 0.0) << spec.name << " " << affinity_name(aff);
+    }
+  }
+}
+
+// SF_AFFINITY supplies the process default; an explicit option outranks
+// nothing here (the option is None), so the env decides — and the prepared
+// handle reports the resolved policy.
+TEST(RuntimeEngine, EnvAffinityAppliesWhenUnset) {
+  ASSERT_EQ(setenv("SF_AFFINITY", "compact", 1), 0);
+  ExecOptions opts;
+  opts.tiling = Tiling::On;
+  opts.threads = 2;
+  opts.tsteps = 8;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+  EXPECT_EQ(ps.affinity(), Affinity::Compact);
+  ASSERT_NE(ps.pool(), nullptr);
+  EXPECT_EQ(ps.pool()->affinity(), Affinity::Compact);
+  unsetenv("SF_AFFINITY");
+  // With the env cleared the same request resolves to None — and is a
+  // *different* preparation (the effective options are the cache key).
+  PreparedStencil again =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+  EXPECT_EQ(again.affinity(), Affinity::None);
+}
+
+TEST(RuntimeEngine, EnvThreadsAppliesWhenUnset) {
+  ASSERT_EQ(setenv("SF_THREADS", "2", 1), 0);
+  ExecOptions opts;
+  opts.tiling = Tiling::On;
+  opts.tsteps = 8;
+  PreparedStencil ps =
+      Engine::instance().prepare(Preset::Heat2D, Extents{72, 64}, opts);
+  ASSERT_TRUE(ps.plan().tiled);
+  EXPECT_EQ(ps.plan().tile.threads, 2);
+  unsetenv("SF_THREADS");
+}
+
+}  // namespace
+}  // namespace sf
