@@ -11,9 +11,12 @@ families and renders one PNG per CSV next to it (or under --out):
     python3 scripts/plot_figures.py results
 
 Family conventions:
-  * fig8_*   — GFLOP/s vs problem size (log-x size sweep, one line/method);
-  * fig9_*   — GFLOP/s per method on the multicore configuration (bars);
-  * fig10_*  — GFLOP/s vs cores (one line per method, linear axes).
+  * fig8_*    — GFLOP/s vs problem size (log-x size sweep, one line/method);
+  * fig9_*    — GFLOP/s per method on the multicore configuration (bars);
+  * fig10_*   — GFLOP/s vs cores (one line per method, linear axes);
+  * serving_* — client-observed latency percentiles vs offered load
+                (bench/serving_throughput.cpp: p50 solid / p99 dashed, one
+                color per serving mode).
 
 Requires matplotlib; install it (`pip install matplotlib`) where you plot —
 the bench machines only need to produce the CSVs.
@@ -26,7 +29,8 @@ import re
 import sys
 
 # Matches the harness naming: <family>_<stencil>-<YYYYMMDD-HHMMSS>-p<pid>.csv
-FAMILY_RE = re.compile(r"^(fig8|fig9|fig10)_(.+)-(\d{8}-\d{6}-p\d+)\.csv$")
+FAMILY_RE = re.compile(
+    r"^(fig8|fig9|fig10|serving)_(.+)-(\d{8}-\d{6}-p\d+)\.csv$")
 
 
 def parse_csv(path):
@@ -73,6 +77,44 @@ def plot_file(plt, path, out_dir):
     xlabels = [r[0] for r in rows]
     xnum = [to_float(x) for x in xlabels]
     numeric_x = all(v is not None for v in xnum)
+
+    if family == "serving":
+        # Rows are (mode, clients, ..., p50 ms, p99 ms, ...): pivot into one
+        # latency-vs-clients line pair (p50 solid, p99 dashed) per mode.
+        cols = {h: i for i, h in enumerate(header)}
+        for want in ("clients", "p50 ms", "p99 ms"):
+            if want not in cols:
+                print(f"  skipping {name}: no '{want}' column",
+                      file=sys.stderr)
+                return None
+        modes = []
+        for r in rows:
+            if r[0] not in modes:
+                modes.append(r[0])
+        for mode in modes:
+            mine = [r for r in rows if r[0] == mode]
+            xs = [to_float(r[cols["clients"]]) for r in mine]
+            color = None
+            for pct, style in (("p50 ms", "-"), ("p99 ms", "--")):
+                ys = [to_float(r[cols[pct]]) for r in mine]
+                pts = [(x, y) for x, y in zip(xs, ys)
+                       if x is not None and y is not None]
+                if not pts:
+                    continue
+                line, = ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                                style, color=color, marker="o", markersize=3,
+                                label=f"{mode} {pct.split()[0]}")
+                color = line.get_color()
+        ax.set_xlabel("clients (offered load)")
+        ax.set_ylabel("latency (ms)")
+        ax.set_title(f"{family} — {stencil}")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=7)
+        fig.tight_layout()
+        out = os.path.join(out_dir, os.path.splitext(name)[0] + ".png")
+        fig.savefig(out, dpi=150)
+        plt.close(fig)
+        return out
 
     if family == "fig9":
         # One multicore configuration: grouped bars, one group per row.
@@ -145,7 +187,8 @@ def main():
                 made.append(out)
                 print(f"wrote {out}")
     if not made:
-        sys.exit(f"no fig8_*/fig9_*/fig10_* CSVs found in {args.dir} "
+        sys.exit(f"no fig8_*/fig9_*/fig10_*/serving_* CSVs found in "
+                 f"{args.dir} "
                  "(run the bench harnesses with SF_BENCH_OUT set first)")
 
 

@@ -33,6 +33,11 @@
 ///    FieldView validation in PreparedStencil::run()/advance() (combined
 ///    with HaloPolicy::Clean this makes a streaming advance() pure kernel
 ///    dispatch). Any other value — including unset — keeps validation on.
+///  * `SF_POOL_CACHE=n`   — max (threads, affinity) configurations the
+///    shared_pool() registry keeps cached (default 8, floor 1). Acquiring
+///    a pool beyond the cap evicts the least-recently-used unreferenced
+///    configuration; pools still referenced by prepared plans or servers
+///    are never evicted (runtime/worker_pool.hpp).
 #pragma once
 
 #include <cstdlib>
@@ -79,6 +84,12 @@ inline long tile_min_bytes() {
 /// SF_THREADS: default tiled-stage worker count (0 = hardware threads).
 inline int env_threads() {
   return static_cast<int>(env_long("SF_THREADS", 0));
+}
+
+/// SF_POOL_CACHE: shared_pool() registry capacity (default 8, floor 1).
+inline int pool_cache_cap() {
+  const long cap = env_long("SF_POOL_CACHE", 8);
+  return cap < 1 ? 1 : static_cast<int>(cap);
 }
 
 /// SF_VALIDATE: false only when the variable is set to exactly "0" — the

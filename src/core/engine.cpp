@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "common/env.hpp"
 #include "core/tuner.hpp"
@@ -90,6 +91,9 @@ struct PreparedStencil::State {
   HaloPolicy halo_policy = HaloPolicy::Sync;
   Affinity affinity = Affinity::None;  // resolved placement policy
   bool validate = true;                // per-call view validation
+  int threads = 0;                     // resolved request thread count (0 =
+                                       // hardware); batch fan-out pool size
+  std::uint64_t plan_key = 0;          // effective-request hash (batch key)
   std::shared_ptr<WorkerPool> pool;    // runtime pool of the tiled stages
                                        // (shared per (threads, affinity);
                                        // null for untiled/serial plans)
@@ -108,6 +112,7 @@ Layout PreparedStencil::resident_layout() const { return st_->accept; }
 HaloPolicy PreparedStencil::halo_policy() const { return st_->halo_policy; }
 Affinity PreparedStencil::affinity() const { return st_->affinity; }
 bool PreparedStencil::validates() const { return st_->validate; }
+std::uint64_t PreparedStencil::plan_key() const { return st_->plan_key; }
 const WorkerPool* PreparedStencil::pool() const { return st_->pool.get(); }
 
 // ---------------------------------------------------------------------------
@@ -439,26 +444,167 @@ void PreparedStencil::advance(FieldView3D a, FieldView3D b,
   run(a, b, nsteps);
 }
 
+void PreparedStencil::validate_views(FieldView1D a, FieldView1D b,
+                                     const FieldView1D* k) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::validate_views on an empty handle");
+  if (st_->spec.dims != 1)
+    throw std::invalid_argument(
+        "1-D validate_views() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  validate(st_->spec.has_source, st_->halo, st_->nx, a, b, k, st_->accept,
+           st_->kernel->width);
+}
+
+void PreparedStencil::validate_views(FieldView2D a, FieldView2D b) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::validate_views on an empty handle");
+  if (st_->spec.dims != 2)
+    throw std::invalid_argument(
+        "2-D validate_views() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  validate(st_->halo, st_->nx, st_->ny, a, b, st_->accept,
+           st_->kernel->width);
+}
+
+void PreparedStencil::validate_views(FieldView3D a, FieldView3D b) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::validate_views on an empty handle");
+  if (st_->spec.dims != 3)
+    throw std::invalid_argument(
+        "3-D validate_views() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  validate(st_->halo, st_->nx, st_->ny, st_->nz, a, b, st_->accept,
+           st_->kernel->width);
+}
+
+void PreparedStencil::advance_batch(const std::vector<TileBatch1D>& items,
+                                    int nsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::advance_batch on an empty handle");
+  if (st_->spec.dims != 1)
+    throw std::invalid_argument(
+        "1-D advance_batch() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  if (items.empty()) return;
+  for (const TileBatch1D& it : items) {
+    if (st_->validate)
+      validate(st_->spec.has_source, st_->halo, st_->nx, it.a, it.b, it.k,
+               st_->accept, st_->kernel->width);
+    if (st_->halo_policy == HaloPolicy::Sync) sync_halo(it.a, it.b);
+  }
+  const Pattern1D* src = st_->spec.has_source ? &st_->spec.src1 : nullptr;
+  if (st_->plan.tiled) {
+    run_tile_plan_batch(st_->spec.p1, items, src, nsteps, st_->plan.tile);
+    return;
+  }
+  // Untiled plan: the batch *is* the parallelism — fan the independent
+  // per-item kernel runs over the shared pool in one dispatch.
+  if (items.size() > 1 && st_->threads != 1) {
+    shared_pool(st_->threads, st_->affinity)
+        ->parallel_for(0, static_cast<int>(items.size()), [&](int i) {
+          const TileBatch1D& it = items[static_cast<std::size_t>(i)];
+          st_->kernel->run1(st_->spec.p1, it.a, it.b, src, it.k, nsteps);
+        });
+  } else {
+    for (const TileBatch1D& it : items)
+      st_->kernel->run1(st_->spec.p1, it.a, it.b, src, it.k, nsteps);
+  }
+}
+
+void PreparedStencil::advance_batch(const std::vector<TileBatch2D>& items,
+                                    int nsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::advance_batch on an empty handle");
+  if (st_->spec.dims != 2)
+    throw std::invalid_argument(
+        "2-D advance_batch() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  if (items.empty()) return;
+  for (const TileBatch2D& it : items) {
+    if (st_->validate)
+      validate(st_->halo, st_->nx, st_->ny, it.a, it.b, st_->accept,
+               st_->kernel->width);
+    if (st_->halo_policy == HaloPolicy::Sync) sync_halo(it.a, it.b);
+  }
+  if (st_->plan.tiled) {
+    run_tile_plan_batch(st_->spec.p2, items, nsteps, st_->plan.tile);
+    return;
+  }
+  if (items.size() > 1 && st_->threads != 1) {
+    shared_pool(st_->threads, st_->affinity)
+        ->parallel_for(0, static_cast<int>(items.size()), [&](int i) {
+          const TileBatch2D& it = items[static_cast<std::size_t>(i)];
+          st_->kernel->run2(st_->spec.p2, it.a, it.b, nsteps);
+        });
+  } else {
+    for (const TileBatch2D& it : items)
+      st_->kernel->run2(st_->spec.p2, it.a, it.b, nsteps);
+  }
+}
+
+void PreparedStencil::advance_batch(const std::vector<TileBatch3D>& items,
+                                    int nsteps) const {
+  if (st_ == nullptr)
+    throw std::invalid_argument(
+        "PreparedStencil::advance_batch on an empty handle");
+  if (st_->spec.dims != 3)
+    throw std::invalid_argument(
+        "3-D advance_batch() on a stencil prepared for " +
+        std::to_string(st_->spec.dims) + "-D");
+  if (items.empty()) return;
+  for (const TileBatch3D& it : items) {
+    if (st_->validate)
+      validate(st_->halo, st_->nx, st_->ny, st_->nz, it.a, it.b, st_->accept,
+               st_->kernel->width);
+    if (st_->halo_policy == HaloPolicy::Sync) sync_halo(it.a, it.b);
+  }
+  if (st_->plan.tiled) {
+    run_tile_plan_batch(st_->spec.p3, items, nsteps, st_->plan.tile);
+    return;
+  }
+  if (items.size() > 1 && st_->threads != 1) {
+    shared_pool(st_->threads, st_->affinity)
+        ->parallel_for(0, static_cast<int>(items.size()), [&](int i) {
+          const TileBatch3D& it = items[static_cast<std::size_t>(i)];
+          st_->kernel->run3(st_->spec.p3, it.a, it.b, nsteps);
+        });
+  } else {
+    for (const TileBatch3D& it : items)
+      st_->kernel->run3(st_->spec.p3, it.a, it.b, nsteps);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // First-touch initialization
 // ---------------------------------------------------------------------------
 
 namespace {
 
-// Drives `zero(lo, hi)` (element range of the tiled dimension, halos
-// included at the ends) either per placement — each owning worker touching
-// exactly its tile rows/planes — or serially when the plan has no pool or
-// the view's tiled extent is not the prepared one.
-template <class Zero>
-void first_touch_split(const ExecutionPlan& plan, WorkerPool* pool,
-                       long n_tiled, long prepared_n, int halo, Zero&& zero) {
+// Drives `fn(lo, hi)` over the tiled dimension's logical range
+// [-halo, n_tiled + halo) either per placement — each owning worker
+// handling exactly its tile rows/planes (plus the domain-end halo slabs
+// abutting its tiles) — or serially on the calling thread when the plan has
+// no pool or the view's tiled extent is not the prepared one.
+// `pinned_only` additionally forces the serial path for unpinned
+// (Affinity::None) pools: first-touch zeroing gains nothing from floating
+// workers (pages would land on whatever node the OS scheduled them),
+// whereas compute-bound callers (the pool-parallel layout transform) want
+// the parallelism either way.
+template <class Fn>
+void split_over_placement(const ExecutionPlan& plan, WorkerPool* pool,
+                          long n_tiled, long prepared_n, int halo,
+                          bool pinned_only, Fn&& fn) {
   const PlacementPlan& place = plan.placement;
-  // Unpinned (Affinity::None) pools zero serially on the calling thread:
-  // floating workers would place pages on whatever node the OS happened
-  // to schedule them, which is arbitrary rather than useful.
   if (pool == nullptr || place.workers == 0 ||
-      place.affinity == Affinity::None || n_tiled != prepared_n) {
-    zero(-halo, n_tiled + halo);
+      (pinned_only && place.affinity == Affinity::None) ||
+      n_tiled != prepared_n) {
+    fn(-halo, n_tiled + halo);
     return;
   }
   const int tile = plan.tile.tile;
@@ -471,8 +617,15 @@ void first_touch_split(const ExecutionPlan& plan, WorkerPool* pool,
     // them — they are read alongside those tiles every super-step.
     if (t0 == 0) lo = -halo;
     if (hi >= n_tiled) hi = n_tiled + halo;
-    zero(lo, hi);
+    fn(lo, hi);
   });
+}
+
+template <class Zero>
+void first_touch_split(const ExecutionPlan& plan, WorkerPool* pool,
+                       long n_tiled, long prepared_n, int halo, Zero&& zero) {
+  split_over_placement(plan, pool, n_tiled, prepared_n, halo,
+                       /*pinned_only=*/true, std::forward<Zero>(zero));
 }
 
 }  // namespace
@@ -524,6 +677,40 @@ void PreparedStencil::first_touch(FieldView3D v) const {
 
 namespace {
 
+// The in-place transform behind convert_layout(), placement-aware where the
+// row/plane structure allows: 2-D rows and 3-D planes are independent, so
+// the transform runs as a pool task over the plan's ownership map — each
+// worker permutes the rows/planes of its own tiles, keeping the work where
+// the pages live (and off the calling thread's node for fresh first-touched
+// buffers). 1-D has no such split (the permutation works on W*W element
+// blocks that tile boundaries would cut) and stays serial. Serial/untiled
+// preparations and mismatched extents fall back to the caller's thread.
+// The const_cast is sound: pool() returns const only as introspection
+// hygiene; the pool object itself is the registry's mutable shared state.
+void transform_view(const PreparedStencil& ps, const FieldView1D& v) {
+  apply_transpose_layout(v, ps.kernel().width);
+}
+
+void transform_view(const PreparedStencil& ps, const FieldView2D& v) {
+  WorkerPool* pool = const_cast<WorkerPool*>(ps.pool());
+  split_over_placement(ps.plan(), pool, v.ny(), ps.ny(), v.halo(),
+                       /*pinned_only=*/false, [&](long lo, long hi) {
+                         apply_transpose_layout_rows(
+                             v, ps.kernel().width, static_cast<int>(lo),
+                             static_cast<int>(hi));
+                       });
+}
+
+void transform_view(const PreparedStencil& ps, const FieldView3D& v) {
+  WorkerPool* pool = const_cast<WorkerPool*>(ps.pool());
+  split_over_placement(ps.plan(), pool, v.nz(), ps.nz(), v.halo(),
+                       /*pinned_only=*/false, [&](long lo, long hi) {
+                         apply_transpose_layout_planes(
+                             v, ps.kernel().width, static_cast<int>(lo),
+                             static_cast<int>(hi));
+                       });
+}
+
 // Shared implementation of to_resident_layout()/to_natural_layout(): the
 // preferred layouts are involutions (register transpose), so the same
 // transform converts in either direction and only the tag bookkeeping
@@ -564,7 +751,7 @@ View convert_layout(const PreparedStencil& ps, View v, bool to_resident,
         std::string(fn) + ": view is tagged " + layout_name(v.layout()) +
         "; expected " + layout_name(from) + " (preferred layout is " +
         layout_name(pref) + ")");
-  apply_transpose_layout(v, ps.kernel().width);  // involution
+  transform_view(ps, v);  // involution
   return v.with_layout(want,
                        want == Layout::Natural ? 0 : ps.kernel().width);
 }
@@ -624,6 +811,47 @@ std::uint64_t hash_spec(const StencilSpec& s) {
   }
   h = fnv1a(h, s.has_source ? 1 : 0);
   if (s.has_source) h = hash_pattern(h, s.src1);
+  return h;
+}
+
+// Environment/preset fallback resolution shared by prepare() and
+// plan_key(): the effective request is what both the plan-cache key and the
+// plan-key hash are computed from, so an env change between calls is never
+// served (or keyed as) a stale preparation.
+void resolve_request(const StencilSpec& spec, Extents& ext, ExecOptions& opts,
+                     int& tsteps) {
+  if (opts.affinity == Affinity::None) opts.affinity = env_affinity();
+  if (opts.threads == 0) opts.threads = env_threads();
+  opts.validate = opts.validate && env_validate();
+  if (ext.nx == 0) ext.nx = spec.small_size[0];
+  if (ext.ny == 0) ext.ny = spec.dims >= 2 ? spec.small_size[1] : 1;
+  if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
+  tsteps = opts.tsteps > 0 ? opts.tsteps
+                           : static_cast<int>(spec.small_tsteps);
+}
+
+// The plan key: FNV-1a over the full effective request. Equal keys mean
+// prepare() would serve both requests from one cache entry (modulo hash
+// collisions, which only cost a missed batching opportunity downstream —
+// the serving batcher executes each group through a handle of that group,
+// never across groups).
+std::uint64_t request_key(std::uint64_t spec_hash, const Extents& ext,
+                          int tsteps, const ExecOptions& o) {
+  std::uint64_t h = fnv1a(1469598103934665603ull, spec_hash);
+  h = fnv1a(h, static_cast<std::uint64_t>(ext.nx));
+  h = fnv1a(h, static_cast<std::uint64_t>(ext.ny));
+  h = fnv1a(h, static_cast<std::uint64_t>(ext.nz));
+  h = fnv1a(h, static_cast<std::uint64_t>(tsteps));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.method));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.isa));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.tiling));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.threads));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.tile));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.time_block));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.layout));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.halo_policy));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.affinity));
+  h = fnv1a(h, o.validate ? 1u : 0u);
   return h;
 }
 
@@ -691,14 +919,8 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   // is the *effective* request and an env change between calls is never
   // served a stale preparation.
   ExecOptions opts = opts_in;
-  if (opts.affinity == Affinity::None) opts.affinity = env_affinity();
-  if (opts.threads == 0) opts.threads = env_threads();
-  opts.validate = opts.validate && env_validate();
-  if (ext.nx == 0) ext.nx = spec.small_size[0];
-  if (ext.ny == 0) ext.ny = spec.dims >= 2 ? spec.small_size[1] : 1;
-  if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
-  const int tsteps =
-      opts.tsteps > 0 ? opts.tsteps : static_cast<int>(spec.small_tsteps);
+  int tsteps = 0;
+  resolve_request(spec, ext, opts, tsteps);
 
   // Tiled auto-geometry plans read the TuneCache, so each cached
   // preparation snapshots the lookup it depended on; it is served only
@@ -739,6 +961,8 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   st->ny = ext.ny;
   st->nz = ext.nz;
   st->tsteps = tsteps;
+  st->threads = opts.threads;
+  st->plan_key = request_key(sh, ext, tsteps, opts);
 
   const Method m =
       opts.method == Method::Auto ? auto_method(spec, opts.isa) : opts.method;
@@ -838,6 +1062,45 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
     cache_.push_back(std::move(entry));
   }
   return PreparedStencil(st);
+}
+
+PreparedStencil Engine::prepare_shared(Preset p, Extents ext,
+                                       const ExecOptions& opts) {
+  return prepare_shared(preset(p), ext, opts);
+}
+
+PreparedStencil Engine::prepare_shared(const StencilSpec& spec, Extents ext,
+                                       const ExecOptions& opts) {
+  // Build coalescing: the first caller of a key claims it and builds; later
+  // callers of the *same* key wait here and are then served the cached
+  // state their builder inserted (their prepare() below is a cache hit
+  // returning the identical State). Distinct keys never wait on each other.
+  const std::uint64_t key = plan_key(spec, ext, opts);
+  {
+    std::unique_lock<std::mutex> lock(share_mu_);
+    share_cv_.wait(lock, [&] { return building_.count(key) == 0; });
+    building_.insert(key);
+  }
+  struct Claim {  // release the key and wake waiters even on throw
+    Engine* e;
+    std::uint64_t key;
+    ~Claim() {
+      {
+        std::lock_guard<std::mutex> lock(e->share_mu_);
+        e->building_.erase(key);
+      }
+      e->share_cv_.notify_all();
+    }
+  } claim{this, key};
+  return prepare(spec, ext, opts);
+}
+
+std::uint64_t Engine::plan_key(const StencilSpec& spec, Extents ext,
+                               const ExecOptions& opts_in) const {
+  ExecOptions opts = opts_in;
+  int tsteps = 0;
+  resolve_request(spec, ext, opts, tsteps);
+  return request_key(hash_spec(spec), ext, tsteps, opts);
 }
 
 std::size_t Engine::plan_cache_size() const {

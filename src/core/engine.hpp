@@ -31,8 +31,11 @@
 /// its grids and drives this layer underneath.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/execution_plan.hpp"
@@ -158,6 +161,14 @@ class PreparedStencil {
   Affinity affinity() const;
   /// True when run()/advance() validate views per call (the default).
   bool validates() const;
+  /// Stable hash of the *effective* prepare request this handle was built
+  /// from (stencil pattern + extents + horizon + every resolved ExecOptions
+  /// field). Two handles share a plan key exactly when Engine::prepare
+  /// would serve them from one cache entry — same kernel, geometry, pool
+  /// and validation behavior — so requests with equal keys are safely
+  /// batchable through advance_batch(). This is the key the serving
+  /// batcher (serving/server.hpp) groups submissions by.
+  std::uint64_t plan_key() const;
   /// The persistent worker pool the tiled stages execute on — shared per
   /// (threads, affinity) configuration and reused across prepare() calls —
   /// or nullptr for untiled/serial plans. Exposed for introspection and
@@ -201,6 +212,36 @@ class PreparedStencil {
   /// 3-D streaming advance.
   void advance(FieldView3D a, FieldView3D b, int nsteps) const;
 
+  /// Batched streaming advance: advances every item of `items` by `nsteps`
+  /// steps with *one* pool dispatch (tiling/split_tiling.hpp
+  /// run_tile_plan_batch) instead of one per item — the serving batcher's
+  /// execution primitive, amortizing dispatch and barrier cost across N
+  /// same-plan small grids. Per-item semantics are exactly advance(): each
+  /// item is validated (unless prepared with validate off), halo-synced per
+  /// the prepared HaloPolicy, and its result lands in its `a`; results are
+  /// bitwise identical to sequential advance() calls. Items must all match
+  /// this handle's prepared geometry, and buffers of distinct items must be
+  /// pairwise disjoint (not cross-checked — each item's views are validated
+  /// individually). A 1-D prepared stencil with a source term reads each
+  /// item's own `k` view.
+  void advance_batch(const std::vector<TileBatch1D>& items, int nsteps) const;
+  /// 2-D overload of advance_batch().
+  void advance_batch(const std::vector<TileBatch2D>& items, int nsteps) const;
+  /// 3-D overload of advance_batch().
+  void advance_batch(const std::vector<TileBatch3D>& items, int nsteps) const;
+
+  /// Validates a 1-D view pair (plus optional source array) against the
+  /// prepared geometry exactly as run() does — unconditionally, even on
+  /// handles prepared with validation off. Throws std::invalid_argument on
+  /// mismatch. The serving front end calls this at submit time so a bad
+  /// request is rejected on the client thread instead of poisoning a batch.
+  void validate_views(FieldView1D a, FieldView1D b,
+                      const FieldView1D* k = nullptr) const;
+  /// 2-D overload of validate_views().
+  void validate_views(FieldView2D a, FieldView2D b) const;
+  /// 3-D overload of validate_views().
+  void validate_views(FieldView3D a, FieldView3D b) const;
+
  private:
   friend class Engine;
   struct State;
@@ -233,6 +274,28 @@ class Engine {
   PreparedStencil prepare(Preset p, Extents ext = {},
                           const ExecOptions& opts = {});
 
+  /// Concurrency-friendly prepare() for multi-tenant callers: concurrent
+  /// prepare_shared() calls for the *same* effective request coalesce — one
+  /// caller builds the preparation while the others wait and are then
+  /// served the identical cached state, instead of every tenant paying the
+  /// planning (and possibly pool-construction) cost in parallel and racing
+  /// to insert duplicates. Distinct requests build concurrently; semantics
+  /// are otherwise exactly prepare(). This is what the serving front end
+  /// prepares tenant plans through.
+  PreparedStencil prepare_shared(const StencilSpec& spec, Extents ext = {},
+                                 const ExecOptions& opts = {});
+  /// Preset convenience overload of prepare_shared().
+  PreparedStencil prepare_shared(Preset p, Extents ext = {},
+                                 const ExecOptions& opts = {});
+
+  /// The plan key prepare() would assign this request: the stable hash of
+  /// the effective request after environment defaults (SF_AFFINITY,
+  /// SF_THREADS, SF_VALIDATE) and preset extent/horizon fallbacks are
+  /// resolved — the same value PreparedStencil::plan_key() reports on the
+  /// resulting handle. Lets a batcher group requests before preparing.
+  std::uint64_t plan_key(const StencilSpec& spec, Extents ext = {},
+                         const ExecOptions& opts = {}) const;
+
   /// Number of distinct preparations currently cached.
   std::size_t plan_cache_size() const;
   /// prepare() calls served from the cache over this engine's lifetime.
@@ -253,6 +316,11 @@ class Engine {
   mutable std::mutex mu_;
   std::vector<CacheEntry> cache_;
   long hits_ = 0;
+
+  // prepare_shared() build coalescing: plan keys currently being built.
+  std::mutex share_mu_;
+  std::condition_variable share_cv_;
+  std::unordered_set<std::uint64_t> building_;
 };
 
 /// Transforms `v`'s buffer in place into `ps`'s preferred resident layout

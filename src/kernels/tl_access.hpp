@@ -61,21 +61,27 @@ struct TLRow {
   /// Aligned in-block vector (0 <= jj < W, 0 <= b < nb).
   V plain(int b, int jj) const { return V::load(p + b * W * W + jj * W); }
 
-  /// General vector for jj in [-W, 2W).
+  /// General vector for jj in [-W, 2W). The single carried lane from the
+  /// neighboring block is loaded as a scalar, never as a full vector: a
+  /// W-wide neighbor load would over-read W-1 lanes that a concurrently
+  /// executing wedge tile may be writing (the tile slope only protects the
+  /// semantically-used element), which is a data race even though the
+  /// lanes would be blended away.
   V vec(int b, int jj) const {
     if (0 <= jj && jj < W) return plain(b, jj);
     if (jj < 0) {
       const int q = jj + W;
-      V cur = plain(b, q);
-      if (b > 0) return simd::rotate_r1(simd::blend_last(cur, plain(b - 1, q)));
-      // Carried lane is halo element p[jj] (original order).
-      return simd::blend_first(simd::rotate_r1(cur), V::set1(p[jj]));
+      // Carried lane: last lane of the previous block's column q, or halo
+      // element p[jj] (original order) at the row start.
+      const double carry = b > 0 ? p[(b - 1) * W * W + q * W + (W - 1)] : p[jj];
+      return simd::blend_first(simd::rotate_r1(plain(b, q)), V::set1(carry));
     }
     const int q = jj - W;
-    V cur = plain(b, q);
-    if (b + 1 < nb) return simd::rotate_l1(simd::blend_first(cur, plain(b + 1, q)));
-    // Carried lane is tail/halo element at logical index (b+1)*W*W + q.
-    return simd::blend_last(simd::rotate_l1(cur), V::set1(p[(b + 1) * W * W + q]));
+    // Carried lane: first lane of the next block's column q, or tail/halo
+    // element at logical index (b+1)*W*W + q past the last full block.
+    const double carry =
+        b + 1 < nb ? p[(b + 1) * W * W + q * W] : p[(b + 1) * W * W + q];
+    return simd::blend_last(simd::rotate_l1(plain(b, q)), V::set1(carry));
   }
 
   /// Scalar access by logical index (works for halo, tail, and transposed

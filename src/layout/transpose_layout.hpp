@@ -58,9 +58,37 @@ inline void grid_transpose_layout(const FieldView3D& g) {
       row_transpose_layout<W>(g.row(z, y), g.nx());
 }
 
+/// Row-range form of the 2-D transform: transposes rows y in [y0, y1) only
+/// (logical indices; halo rows at negative y). Rows are independent, so
+/// disjoint ranges may run concurrently — the pool-parallel
+/// to_resident_layout splits the row space over the placement map with each
+/// worker transforming the rows of its own tiles.
+template <int W>
+inline void grid_transpose_layout_rows(const FieldView2D& g, int y0, int y1) {
+  for (int y = y0; y < y1; ++y)
+    row_transpose_layout<W>(g.row(y), g.nx());
+}
+
+/// Plane-range form of the 3-D transform: transposes planes z in [z0, z1)
+/// only (logical indices; halo planes at negative z). See
+/// grid_transpose_layout_rows().
+template <int W>
+inline void grid_transpose_layout_planes(const FieldView3D& g, int z0,
+                                         int z1) {
+  for (int z = z0; z < z1; ++z)
+    for (int y = -g.halo(); y < g.ny() + g.halo(); ++y)
+      row_transpose_layout<W>(g.row(z, y), g.nx());
+}
+
 /// Runtime-width dispatch (W in {1,4,8}); W = 1 is a no-op.
 void apply_transpose_layout(const FieldView1D& g, int w);
 void apply_transpose_layout(const FieldView2D& g, int w);
 void apply_transpose_layout(const FieldView3D& g, int w);
+
+/// Runtime-width dispatch of grid_transpose_layout_rows().
+void apply_transpose_layout_rows(const FieldView2D& g, int w, int y0, int y1);
+/// Runtime-width dispatch of grid_transpose_layout_planes().
+void apply_transpose_layout_planes(const FieldView3D& g, int w, int z0,
+                                   int z1);
 
 }  // namespace sf

@@ -7,11 +7,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
-#include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/cpu.hpp"
+#include "common/env.hpp"
 
 namespace sf {
 
@@ -162,15 +163,112 @@ void WorkerPool::ensure_arena(std::size_t nbufs, std::size_t doubles_each) {
   });
 }
 
+namespace {
+
+// The shared_pool() registry: an LRU-capped list of cached configurations.
+// Pools referenced outside the cache (use_count() > 1) are pinned — eviction
+// only drops entries whose sole owner is the cache itself, so a prepared
+// plan's pool can never be torn down underneath it. The registry is leaked
+// intentionally (never destroyed) so pools held across static destruction
+// stay valid; evicted/released pools join their workers when the last
+// shared_ptr drops, which for unreferenced entries is inside the registry
+// lock.
+struct PoolCache {
+  struct Entry {
+    int threads = 0;
+    Affinity affinity = Affinity::None;
+    unsigned long last_use = 0;
+    std::shared_ptr<WorkerPool> pool;
+  };
+  std::mutex mu;
+  std::vector<Entry> entries;
+  unsigned long tick = 0;
+};
+
+PoolCache& pool_cache() {
+  static PoolCache* cache = new PoolCache();
+  return *cache;
+}
+
+// Drops cache-only entries, oldest first, until at most `cap` remain (or no
+// droppable entry is left). Caller holds the registry mutex. The dropped
+// shared_ptrs are handed back so the caller can destroy them (joining
+// worker threads) *outside* the lock.
+std::vector<std::shared_ptr<WorkerPool>> evict_lru_locked(PoolCache& c,
+                                                          std::size_t cap) {
+  std::vector<std::shared_ptr<WorkerPool>> dropped;
+  while (c.entries.size() > cap) {
+    std::size_t victim = c.entries.size();
+    for (std::size_t i = 0; i < c.entries.size(); ++i) {
+      if (c.entries[i].pool.use_count() != 1) continue;  // pinned elsewhere
+      if (victim == c.entries.size() ||
+          c.entries[i].last_use < c.entries[victim].last_use)
+        victim = i;
+    }
+    if (victim == c.entries.size()) break;  // everything is referenced
+    dropped.push_back(std::move(c.entries[victim].pool));
+    c.entries.erase(c.entries.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+  }
+  return dropped;
+}
+
+}  // namespace
+
 std::shared_ptr<WorkerPool> shared_pool(int threads, Affinity affinity) {
   if (threads <= 0) threads = hardware_threads();
-  static std::mutex mu;
-  static std::map<std::pair<int, int>, std::shared_ptr<WorkerPool>>* pools =
-      new std::map<std::pair<int, int>, std::shared_ptr<WorkerPool>>();
-  std::lock_guard<std::mutex> lock(mu);
-  auto& slot = (*pools)[{threads, static_cast<int>(affinity)}];
-  if (!slot) slot = std::make_shared<WorkerPool>(threads, affinity);
-  return slot;
+  PoolCache& c = pool_cache();
+  std::vector<std::shared_ptr<WorkerPool>> graveyard;
+  std::shared_ptr<WorkerPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (PoolCache::Entry& e : c.entries) {
+      if (e.threads == threads && e.affinity == affinity) {
+        e.last_use = ++c.tick;
+        return e.pool;
+      }
+    }
+    pool = std::make_shared<WorkerPool>(threads, affinity);
+    c.entries.push_back({threads, affinity, ++c.tick, pool});
+    graveyard = evict_lru_locked(
+        c, static_cast<std::size_t>(pool_cache_cap()));
+  }
+  // graveyard destructs here, joining evicted pools' workers off-lock.
+  return pool;
+}
+
+bool release_pool(int threads, Affinity affinity) {
+  if (threads <= 0) threads = hardware_threads();
+  PoolCache& c = pool_cache();
+  std::shared_ptr<WorkerPool> dropped;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (std::size_t i = 0; i < c.entries.size(); ++i) {
+      if (c.entries[i].threads == threads &&
+          c.entries[i].affinity == affinity) {
+        dropped = std::move(c.entries[i].pool);
+        c.entries.erase(c.entries.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  return dropped != nullptr;
+}
+
+std::size_t release_unused_pools() {
+  PoolCache& c = pool_cache();
+  std::vector<std::shared_ptr<WorkerPool>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    dropped = evict_lru_locked(c, 0);
+  }
+  return dropped.size();
+}
+
+std::size_t pool_cache_size() {
+  PoolCache& c = pool_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.entries.size();
 }
 
 }  // namespace sf

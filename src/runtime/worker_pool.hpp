@@ -133,11 +133,37 @@ class WorkerPool {
 };
 
 /// The process-wide pool for a (threads, affinity) configuration, built on
-/// first request and reused for the process lifetime (workers park between
-/// tasks, so idle pools cost nothing but memory). `threads` <= 0 resolves
+/// first request and shared by reference count (workers park between tasks,
+/// so a cached idle pool costs nothing but memory). `threads` <= 0 resolves
 /// to hardware_threads(). This is what Engine::prepare "builds or reuses";
 /// direct run_tile_plan() callers resolve the same pool, so the prepared
 /// path and the raw path share workers.
+///
+/// Lifecycle: the registry behind this function keeps one reference per
+/// cached configuration and retains at most `SF_POOL_CACHE` pools (default
+/// 8). Acquiring a pool beyond the cap evicts the least-recently-used
+/// configuration *nobody else references* — a pool still held by a
+/// PreparedStencil, a Server, or any caller-side shared_ptr is never
+/// evicted; it merely stops being cached and dies (workers joined) when its
+/// last external reference drops. release_pool()/release_unused_pools()
+/// drop cache references explicitly.
 std::shared_ptr<WorkerPool> shared_pool(int threads, Affinity affinity);
+
+/// Drops the registry's cached reference to the (threads, affinity) pool
+/// (`threads` <= 0 resolves as in shared_pool). The pool's worker threads
+/// shut down as soon as the last outstanding shared_ptr releases —
+/// immediately, when no prepared handle or server still holds one. Returns
+/// false when the configuration was not cached. A subsequent shared_pool()
+/// for the same configuration simply builds a fresh pool.
+bool release_pool(int threads, Affinity affinity);
+
+/// Evicts every cached pool whose only remaining reference is the
+/// registry's own (their workers join before this returns). Referenced
+/// pools stay cached. Returns the number of pools released.
+std::size_t release_unused_pools();
+
+/// Number of (threads, affinity) configurations the pool registry currently
+/// caches (referenced or not). Exposed for tests and introspection.
+std::size_t pool_cache_size();
 
 }  // namespace sf

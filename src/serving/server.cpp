@@ -1,0 +1,488 @@
+#include "serving/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sf {
+
+const char* reject_name(Reject r) {
+  switch (r) {
+    case Reject::None: return "none";
+    case Reject::QueueFull: return "queue-full";
+    case Reject::TenantPlans: return "tenant-plans";
+    case Reject::TenantInflight: return "tenant-inflight";
+    case Reject::ShuttingDown: return "shutting-down";
+    case Reject::BadRequest: return "bad-request";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// One accepted submission, heap-allocated by submit() and owned by the
+/// dispatcher from the moment it enters the ring. The views stay borrowed
+/// from the caller (the zero-copy contract); only the small request record
+/// itself is allocated.
+struct Request {
+  PreparedStencil ps;
+  int dims = 0;
+  FieldView1D a1, b1, k1;
+  FieldView2D a2, b2;
+  FieldView3D a3, b3;
+  int nsteps = 0;
+  std::string tenant;
+  std::uint64_t plan = 0;  // the handle's plan_key (tenant plan budget)
+  std::uint64_t key = 0;   // plan_key folded with nsteps (batch group key)
+  Clock::time_point submitted;
+  std::promise<ServeResult> promise;
+};
+
+/// Bounded lock-free MPSC ring (Vyukov bounded-MPMC scheme, used here with
+/// many producers and the single dispatcher consumer). Each cell carries a
+/// sequence number producers and the consumer rendezvous on: push claims a
+/// slot with one CAS on the head counter, pop is CAS-free because only the
+/// dispatcher advances the tail. A full ring fails the push immediately —
+/// that failure *is* the backpressure signal (Reject::QueueFull).
+class SubmitRing {
+ public:
+  explicit SubmitRing(int capacity) {
+    std::size_t cap = 2;
+    while (cap < static_cast<std::size_t>(capacity < 2 ? 2 : capacity))
+      cap <<= 1;
+    cells_.reset(new Cell[cap]);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    mask_ = cap - 1;
+  }
+
+  /// Multi-producer push; false when the ring is full.
+  bool push(Request* r) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->req = r;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer pop; nullptr when empty.
+  Request* pop() {
+    Cell* cell = &cells_[tail_ & mask_];
+    const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(tail_ + 1) <
+        0)
+      return nullptr;  // empty (or the producer has not published yet)
+    Request* r = cell->req;
+    cell->seq.store(tail_ + mask_ + 1, std::memory_order_release);
+    ++tail_;
+    return r;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    Request* req = nullptr;
+  };
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producers
+  alignas(64) std::size_t tail_ = 0;              // dispatcher only
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions opts;
+  SubmitRing ring;
+
+  std::atomic<bool> accepting{true};
+  std::atomic<bool> stop{false};
+
+  // Doorbell: producers bump `pending` after a successful push and knock;
+  // the dispatcher sleeps here when the ring is empty.
+  std::mutex bell_mu;
+  std::condition_variable bell_cv;
+  std::atomic<long> pending{0};
+
+  // Accepted-but-not-completed accounting, for drain() and the destructor.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  long inflight_total = 0;
+
+  // Per-tenant budgets.
+  struct Tenant {
+    std::unordered_set<std::uint64_t> plans;  // distinct plan keys seen
+    int inflight = 0;
+  };
+  std::mutex tenant_mu;
+  std::unordered_map<std::string, Tenant> tenants;
+
+  // Stats.
+  std::atomic<long> n_submitted{0}, n_completed{0}, n_failed{0},
+      n_rejected{0}, n_batches{0};
+  std::atomic<int> max_batch{0};
+
+  std::thread dispatcher;
+
+  explicit Impl(ServerOptions o) : opts(std::move(o)), ring(opts.queue_capacity) {}
+
+  std::future<ServeResult> reject(Reject why, const std::string& detail) {
+    n_rejected.fetch_add(1, std::memory_order_relaxed);
+    std::promise<ServeResult> p;
+    ServeResult r;
+    r.rejected = why;
+    r.error = detail.empty() ? reject_name(why) : detail;
+    p.set_value(std::move(r));
+    return p.get_future();
+  }
+
+  /// Admission + enqueue shared by every submit() overload. Takes ownership
+  /// of `req` (deletes it on rejection).
+  std::future<ServeResult> admit(Request* req) {
+    n_submitted.fetch_add(1, std::memory_order_relaxed);
+    std::future<ServeResult> fut = req->promise.get_future();
+    if (!accepting.load(std::memory_order_acquire)) {
+      delete req;
+      return reject(Reject::ShuttingDown, "");
+    }
+    {
+      std::lock_guard<std::mutex> lock(tenant_mu);
+      Tenant& t = tenants[req->tenant];
+      if (opts.tenant_max_plans > 0 && t.plans.count(req->plan) == 0 &&
+          t.plans.size() >=
+              static_cast<std::size_t>(opts.tenant_max_plans)) {
+        delete req;
+        return reject(Reject::TenantPlans, "");
+      }
+      if (opts.tenant_max_inflight > 0 &&
+          t.inflight >= opts.tenant_max_inflight) {
+        delete req;
+        return reject(Reject::TenantInflight, "");
+      }
+      t.plans.insert(req->plan);
+      ++t.inflight;
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++inflight_total;
+    }
+    if (!ring.push(req)) {
+      // Backpressure: undo the accounting and report the full queue.
+      settle_accounting(req->tenant);
+      delete req;
+      return reject(Reject::QueueFull, "");
+    }
+    pending.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: orders the knock against a dispatcher that
+      // checked `pending` just before our increment and is about to sleep.
+      std::lock_guard<std::mutex> lock(bell_mu);
+    }
+    bell_cv.notify_one();
+    return fut;
+  }
+
+  void settle_accounting(const std::string& tenant) {
+    {
+      std::lock_guard<std::mutex> lock(tenant_mu);
+      --tenants[tenant].inflight;
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      --inflight_total;
+    }
+    done_cv.notify_all();
+  }
+
+  /// Fulfills one request's future and releases its accounting.
+  void complete(Request* req, ServeResult r) {
+    if (r.error.empty())
+      n_completed.fetch_add(1, std::memory_order_relaxed);
+    else
+      n_failed.fetch_add(1, std::memory_order_relaxed);
+    req->promise.set_value(r);
+    settle_accounting(req->tenant);
+    if (opts.on_complete) opts.on_complete(r);
+    delete req;
+  }
+
+  /// Executes one same-(plan, nsteps) group through a single batched
+  /// dispatch and fulfills every member.
+  void run_group(std::vector<Request*>& group) {
+    const Clock::time_point t_dispatch = Clock::now();
+    std::string error;
+    try {
+      Request& lead = *group[0];
+      // Group members share a plan key, so any member's handle describes
+      // the whole group's geometry and pool; execute through the leader's.
+      switch (lead.dims) {
+        case 1: {
+          std::vector<TileBatch1D> items;
+          items.reserve(group.size());
+          for (Request* r : group)
+            items.push_back({r->a1, r->b1, r->k1.valid() ? &r->k1 : nullptr});
+          lead.ps.advance_batch(items, lead.nsteps);
+          break;
+        }
+        case 2: {
+          std::vector<TileBatch2D> items;
+          items.reserve(group.size());
+          for (Request* r : group) items.push_back({r->a2, r->b2});
+          lead.ps.advance_batch(items, lead.nsteps);
+          break;
+        }
+        default: {
+          std::vector<TileBatch3D> items;
+          items.reserve(group.size());
+          for (Request* r : group) items.push_back({r->a3, r->b3});
+          lead.ps.advance_batch(items, lead.nsteps);
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown execution error";
+    }
+    const double exec = seconds_between(t_dispatch, Clock::now());
+    n_batches.fetch_add(1, std::memory_order_relaxed);
+    int prev = max_batch.load(std::memory_order_relaxed);
+    while (prev < static_cast<int>(group.size()) &&
+           !max_batch.compare_exchange_weak(prev,
+                                            static_cast<int>(group.size()))) {
+    }
+    for (Request* r : group) {
+      ServeResult res;
+      res.error = error;
+      res.queue_seconds = seconds_between(r->submitted, t_dispatch);
+      res.exec_seconds = exec;
+      res.batch_size = static_cast<int>(group.size());
+      complete(r, res);
+    }
+    group.clear();
+  }
+
+  /// The dispatcher: drain up to max_batch requests, group by
+  /// (plan key, nsteps) preserving first-appearance order, execute each
+  /// group batched. Exits only when stopped *and* the ring is empty, so
+  /// shutdown drains every accepted request.
+  void dispatch_loop() {
+    std::vector<Request*> round;
+    std::vector<std::vector<Request*>> groups;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(bell_mu);
+        bell_cv.wait(lock, [&] {
+          return stop.load(std::memory_order_acquire) ||
+                 pending.load(std::memory_order_acquire) > 0;
+        });
+      }
+      round.clear();
+      while (static_cast<int>(round.size()) < opts.max_batch) {
+        Request* r = ring.pop();
+        if (r == nullptr) break;
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        round.push_back(r);
+      }
+      if (round.empty()) {
+        if (stop.load(std::memory_order_acquire) &&
+            pending.load(std::memory_order_acquire) == 0)
+          return;
+        continue;
+      }
+      groups.clear();
+      for (Request* r : round) {
+        std::vector<Request*>* g = nullptr;
+        for (auto& cand : groups)
+          if (cand[0]->key == r->key && cand[0]->nsteps == r->nsteps) {
+            g = &cand;
+            break;
+          }
+        if (g == nullptr) {
+          groups.emplace_back();
+          g = &groups.back();
+        }
+        g->push_back(r);
+      }
+      for (auto& g : groups) run_group(g);
+    }
+  }
+};
+
+Server::Server(ServerOptions opts) : impl_(new Impl(std::move(opts))) {
+  if (impl_->opts.max_batch < 1) impl_->opts.max_batch = 1;
+  impl_->dispatcher = std::thread([this] { impl_->dispatch_loop(); });
+}
+
+Server::~Server() {
+  impl_->accepting.store(false, std::memory_order_release);
+  impl_->stop.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->bell_mu);
+  }
+  impl_->bell_cv.notify_all();
+  impl_->dispatcher.join();
+  // Sweep stragglers that raced admission with shutdown (a submit that
+  // passed the accepting check but pushed after the dispatcher exited):
+  // their futures are satisfied with a rejection, never abandoned.
+  for (Request* r = impl_->ring.pop(); r != nullptr; r = impl_->ring.pop()) {
+    ServeResult res;
+    res.rejected = Reject::ShuttingDown;
+    res.error = reject_name(Reject::ShuttingDown);
+    impl_->complete(r, res);
+  }
+}
+
+namespace {
+
+/// Builds the request record common to every overload; returns null and a
+/// rejection message when validation fails.
+Request* make_request(const std::string& tenant, const PreparedStencil& ps,
+                      int nsteps, std::string* why) {
+  if (!ps.valid()) {
+    *why = "empty PreparedStencil handle";
+    return nullptr;
+  }
+  Request* r = new Request;
+  r->ps = ps;
+  r->tenant = tenant;
+  r->nsteps = nsteps;
+  r->plan = ps.plan_key();
+  // Fold nsteps into the group key: only same-horizon requests batch.
+  r->key = r->plan * 1099511628211ull + static_cast<std::uint64_t>(nsteps);
+  r->submitted = Clock::now();
+  return r;
+}
+
+}  // namespace
+
+std::future<ServeResult> Server::submit(const std::string& tenant,
+                                        const PreparedStencil& ps,
+                                        FieldView1D a, FieldView1D b,
+                                        int nsteps) {
+  return submit(tenant, ps, a, b, FieldView1D{}, nsteps);
+}
+
+std::future<ServeResult> Server::submit(const std::string& tenant,
+                                        const PreparedStencil& ps,
+                                        FieldView1D a, FieldView1D b,
+                                        FieldView1D k, int nsteps) {
+  std::string why;
+  Request* r = make_request(tenant, ps, nsteps, &why);
+  if (r != nullptr) {
+    try {
+      ps.validate_views(a, b, k.valid() ? &k : nullptr);
+    } catch (const std::invalid_argument& e) {
+      delete r;
+      r = nullptr;
+      why = e.what();
+    }
+  }
+  if (r == nullptr) {
+    impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    return impl_->reject(Reject::BadRequest, why);
+  }
+  r->dims = 1;
+  r->a1 = a;
+  r->b1 = b;
+  r->k1 = k;
+  return impl_->admit(r);
+}
+
+std::future<ServeResult> Server::submit(const std::string& tenant,
+                                        const PreparedStencil& ps,
+                                        FieldView2D a, FieldView2D b,
+                                        int nsteps) {
+  std::string why;
+  Request* r = make_request(tenant, ps, nsteps, &why);
+  if (r != nullptr) {
+    try {
+      ps.validate_views(a, b);
+    } catch (const std::invalid_argument& e) {
+      delete r;
+      r = nullptr;
+      why = e.what();
+    }
+  }
+  if (r == nullptr) {
+    impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    return impl_->reject(Reject::BadRequest, why);
+  }
+  r->dims = 2;
+  r->a2 = a;
+  r->b2 = b;
+  return impl_->admit(r);
+}
+
+std::future<ServeResult> Server::submit(const std::string& tenant,
+                                        const PreparedStencil& ps,
+                                        FieldView3D a, FieldView3D b,
+                                        int nsteps) {
+  std::string why;
+  Request* r = make_request(tenant, ps, nsteps, &why);
+  if (r != nullptr) {
+    try {
+      ps.validate_views(a, b);
+    } catch (const std::invalid_argument& e) {
+      delete r;
+      r = nullptr;
+      why = e.what();
+    }
+  }
+  if (r == nullptr) {
+    impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    return impl_->reject(Reject::BadRequest, why);
+  }
+  r->dims = 3;
+  r->a3 = a;
+  r->b3 = b;
+  return impl_->admit(r);
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(impl_->done_mu);
+  impl_->done_cv.wait(lock, [&] { return impl_->inflight_total == 0; });
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = impl_->n_submitted.load(std::memory_order_relaxed);
+  s.completed = impl_->n_completed.load(std::memory_order_relaxed);
+  s.failed = impl_->n_failed.load(std::memory_order_relaxed);
+  s.rejected = impl_->n_rejected.load(std::memory_order_relaxed);
+  s.batches = impl_->n_batches.load(std::memory_order_relaxed);
+  s.max_batch = impl_->max_batch.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sf

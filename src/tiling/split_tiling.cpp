@@ -217,9 +217,16 @@ void tl_folded_region_step_1d(const Pattern1D& p, const Pattern1D& lam,
   }
 }
 
+/// `serial` forces the whole run onto the calling thread (no pool
+/// dispatch): the batched entry runs each item this way on the pool worker
+/// that owns it, so nested stage parallelism (and the arena races a nested
+/// inline run() would cause for the 3-D folded window) never arises. The
+/// wedge geometry is negotiated identically either way, so serial and
+/// pooled runs are bitwise identical.
 template <int W>
 void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b, const Pattern1D* src,
-                  const FieldView1D* k, int tsteps, const TiledOptions& opt) {
+                  const FieldView1D* k, int tsteps, const TiledOptions& opt,
+                  bool serial = false) {
   const int n = a.n();
   const int r = p.radius();
   const Method mth = opt.method;
@@ -244,7 +251,7 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
   const int rem = tsteps - super * m;
   WedgePlan w = make_plan(n_tiled, slope_local, super, opt, m,
                           sizeof(double));
-  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
+  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
 
   auto adv = [&](const FieldView1D& in, const FieldView1D& out, int lo, int hi,
                  int) {
@@ -292,9 +299,10 @@ void tiled1d_impl(const Pattern1D& p, const FieldView1D& a, const FieldView1D& b
 // ---------------------------------------------------------------------------
 // 2-D (tiled dimension: y, rows [lo, hi))
 // ---------------------------------------------------------------------------
+/// `serial`: see tiled1d_impl().
 template <int W>
 void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps,
-                  const TiledOptions& opt) {
+                  const TiledOptions& opt, bool serial = false) {
   const int ny = a.ny(), nx = a.nx();
   const int r = p.radius();
   const Method mth = opt.method;
@@ -318,7 +326,7 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
   const int rem = tsteps - super * m;
   WedgePlan w = make_plan(ny, m * r, super, opt, m,
                           sizeof(double) * static_cast<long>(nx));
-  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
+  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
 
   auto adv = [&](const FieldView2D& in, const FieldView2D& out, int lo, int hi,
                  int) {
@@ -367,9 +375,10 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
 // ---------------------------------------------------------------------------
 // 3-D (tiled dimension: z, planes [lo, hi))
 // ---------------------------------------------------------------------------
+/// `serial`: see tiled1d_impl().
 template <int W>
 void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
-                  const TiledOptions& opt) {
+                  const TiledOptions& opt, bool serial = false) {
   const int nz = a.nz(), ny = a.ny(), nx = a.nx();
   const int r = p.radius();
   const Method mth = opt.method;
@@ -394,7 +403,7 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
   WedgePlan w = make_plan(
       nz, m * r, super, opt, m,
       sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
-  const std::shared_ptr<WorkerPool> pool = plan_pool(w);
+  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
 
   auto adv = [&](const FieldView3D& in, const FieldView3D& out, int lo, int hi,
                  int wk) {
@@ -544,6 +553,103 @@ void run_tile_plan(const Pattern3D& p, const FieldView3D& a, const FieldView3D& 
     case 4: tiled3d_impl<4>(p, a, b, tsteps, plan); break;
     default: tiled3d_impl<1>(p, a, b, tsteps, plan); break;
   }
+}
+
+namespace {
+
+/// The batch fan-out: one pool dispatch laying `nitems` over the shared
+/// (threads, affinity) pool with the balanced_placement() ownership map;
+/// `run_item(i)` executes item i's complete serial lifecycle on its owning
+/// worker. Single-worker or single-item batches run inline on the caller.
+void fan_out_items(std::size_t nitems, const TilePlan& plan,
+                   const std::function<void(int)>& run_item) {
+  const int threads =
+      plan.threads > 0 ? plan.threads : hardware_threads();
+  if (threads > 1 && nitems > 1) {
+    shared_pool(threads, plan.affinity)
+        ->parallel_for(0, static_cast<int>(nitems), run_item);
+  } else {
+    for (std::size_t i = 0; i < nitems; ++i)
+      run_item(static_cast<int>(i));
+  }
+}
+
+}  // namespace
+
+void run_tile_plan_batch(const Pattern1D& p, const std::vector<TileBatch1D>& items,
+                         const Pattern1D* src, int tsteps, const TilePlan& plan) {
+  if (items.empty()) return;
+  if (items.size() == 1) {
+    run_tile_plan(p, items[0].a, items[0].b, src, items[0].k, tsteps, plan);
+    return;
+  }
+  const KernelInfo* info = find_kernel(plan.method, 1, plan.isa);
+  const int sr = src != nullptr ? src->radius() : 0;
+  const bool engages =
+      info != nullptr && tiled_path_engages(*info, p.radius(), sr, items[0].a.n());
+  const int width = isa_width(resolve_isa(plan.isa));
+  fan_out_items(items.size(), plan, [&](int i) {
+    const TileBatch1D& it = items[static_cast<std::size_t>(i)];
+    if (!engages) {
+      kernel1d(plan.method, plan.isa)(p, it.a, it.b, src, it.k, tsteps);
+      return;
+    }
+    switch (width) {
+      case 8: tiled1d_impl<8>(p, it.a, it.b, src, it.k, tsteps, plan, true); break;
+      case 4: tiled1d_impl<4>(p, it.a, it.b, src, it.k, tsteps, plan, true); break;
+      default: tiled1d_impl<1>(p, it.a, it.b, src, it.k, tsteps, plan, true); break;
+    }
+  });
+}
+
+void run_tile_plan_batch(const Pattern2D& p, const std::vector<TileBatch2D>& items,
+                         int tsteps, const TilePlan& plan) {
+  if (items.empty()) return;
+  if (items.size() == 1) {
+    run_tile_plan(p, items[0].a, items[0].b, tsteps, plan);
+    return;
+  }
+  const KernelInfo* info = find_kernel(plan.method, 2, plan.isa);
+  const bool engages =
+      info != nullptr && tiled_path_engages(*info, p.radius(), 0, items[0].a.nx());
+  const int width = isa_width(resolve_isa(plan.isa));
+  fan_out_items(items.size(), plan, [&](int i) {
+    const TileBatch2D& it = items[static_cast<std::size_t>(i)];
+    if (!engages) {
+      kernel2d(plan.method, plan.isa)(p, it.a, it.b, tsteps);
+      return;
+    }
+    switch (width) {
+      case 8: tiled2d_impl<8>(p, it.a, it.b, tsteps, plan, true); break;
+      case 4: tiled2d_impl<4>(p, it.a, it.b, tsteps, plan, true); break;
+      default: tiled2d_impl<1>(p, it.a, it.b, tsteps, plan, true); break;
+    }
+  });
+}
+
+void run_tile_plan_batch(const Pattern3D& p, const std::vector<TileBatch3D>& items,
+                         int tsteps, const TilePlan& plan) {
+  if (items.empty()) return;
+  if (items.size() == 1) {
+    run_tile_plan(p, items[0].a, items[0].b, tsteps, plan);
+    return;
+  }
+  const KernelInfo* info = find_kernel(plan.method, 3, plan.isa);
+  const bool engages =
+      info != nullptr && tiled_path_engages(*info, p.radius(), 0, items[0].a.nx());
+  const int width = isa_width(resolve_isa(plan.isa));
+  fan_out_items(items.size(), plan, [&](int i) {
+    const TileBatch3D& it = items[static_cast<std::size_t>(i)];
+    if (!engages) {
+      kernel3d(plan.method, plan.isa)(p, it.a, it.b, tsteps);
+      return;
+    }
+    switch (width) {
+      case 8: tiled3d_impl<8>(p, it.a, it.b, tsteps, plan, true); break;
+      case 4: tiled3d_impl<4>(p, it.a, it.b, tsteps, plan, true); break;
+      default: tiled3d_impl<1>(p, it.a, it.b, tsteps, plan, true); break;
+    }
+  });
 }
 
 // Deprecated shims: one release of grace for the pre-ExecutionPlan API.

@@ -125,6 +125,53 @@ void run_tile_plan(const Pattern2D& p, const FieldView2D& a, const FieldView2D& 
 void run_tile_plan(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps,
                    const TilePlan& plan);
 
+/// One grid of a batched 1-D tiling run: the ping/pong buffer pair plus the
+/// optional per-item APOP source array (`k` null when the pattern has no
+/// source term). All items of one batch share the Pattern and TilePlan but
+/// own distinct buffers.
+struct TileBatch1D {
+  FieldView1D a;                   ///< Ping buffer; holds the result.
+  FieldView1D b;                   ///< Pong buffer.
+  const FieldView1D* k = nullptr;  ///< Optional time-invariant source array.
+};
+
+/// One grid of a batched 2-D tiling run (ping/pong buffer pair).
+struct TileBatch2D {
+  FieldView2D a;  ///< Ping buffer; holds the result.
+  FieldView2D b;  ///< Pong buffer.
+};
+
+/// One grid of a batched 3-D tiling run (ping/pong buffer pair).
+struct TileBatch3D {
+  FieldView3D a;  ///< Ping buffer; holds the result.
+  FieldView3D b;  ///< Pong buffer.
+};
+
+/// Advances every item of `items` by `tsteps` Jacobi steps in *one* pool
+/// dispatch: the batch is laid over the shared (threads, affinity) pool
+/// with the same balanced_placement() ownership map the wedge stages use,
+/// and each worker runs its items' complete tiling lifecycle (layout
+/// transforms, wedge schedule, remainder steps) inline. This amortizes
+/// dispatch and barrier cost across N same-geometry small grids — the
+/// serving batcher's fast path (serving/server.hpp) — where per-item stage
+/// parallelism has nothing to win.
+///
+/// Every item must have the geometry of item 0 (extents, halo, layout);
+/// buffers of distinct items must not alias. Results are bitwise identical
+/// to running run_tile_plan() on each item sequentially: each item executes
+/// the same negotiated wedge geometry and region math, merely on one worker
+/// instead of spread over the pool. A single-item batch degrades to exactly
+/// run_tile_plan(). The 1-D form optionally takes the APOP source pattern
+/// `src` read through each item's own `k` array.
+void run_tile_plan_batch(const Pattern1D& p, const std::vector<TileBatch1D>& items,
+                         const Pattern1D* src, int tsteps, const TilePlan& plan);
+/// 2-D overload of run_tile_plan_batch(); tiles along y.
+void run_tile_plan_batch(const Pattern2D& p, const std::vector<TileBatch2D>& items,
+                         int tsteps, const TilePlan& plan);
+/// 3-D overload of run_tile_plan_batch(); tiles along z.
+void run_tile_plan_batch(const Pattern3D& p, const std::vector<TileBatch3D>& items,
+                         int tsteps, const TilePlan& plan);
+
 /// \deprecated Shim over run_tile_plan(), kept for one release. New code
 /// runs tiled through `Solver::tiling()` (Solver-owned grids) or
 /// run_tile_plan() (caller-owned grids).

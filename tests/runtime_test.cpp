@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,49 @@ TEST(WorkerPool, SharedPoolReusedPerConfiguration) {
   const auto c = shared_pool(2, Affinity::Compact);
   EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(c->affinity(), Affinity::Compact);
+}
+
+TEST(WorkerPool, ReleasedPoolJoinsItsWorkers) {
+  std::weak_ptr<WorkerPool> watch;
+  {
+    const auto p = shared_pool(3, Affinity::None);
+    watch = p;
+  }
+  // The registry keeps the configuration warm after the caller lets go...
+  EXPECT_FALSE(watch.expired());
+  // ...until it is explicitly released, which must run the destructor (and
+  // therefore join the worker threads) because no external reference holds it.
+  EXPECT_TRUE(release_pool(3, Affinity::None));
+  EXPECT_TRUE(watch.expired());
+  // Releasing a configuration that is not cached reports false.
+  EXPECT_FALSE(release_pool(3, Affinity::None));
+}
+
+TEST(WorkerPool, ReleaseUnusedDropsOnlyUnreferencedPools) {
+  const auto held = shared_pool(5, Affinity::None);
+  std::weak_ptr<WorkerPool> loose = shared_pool(6, Affinity::None);
+  EXPECT_FALSE(loose.expired());
+  release_unused_pools();
+  // The externally-referenced pool survives and is still the cached one;
+  // the unreferenced pool's workers shut down.
+  EXPECT_TRUE(loose.expired());
+  EXPECT_EQ(shared_pool(5, Affinity::None).get(), held.get());
+  EXPECT_TRUE(release_pool(5, Affinity::None));
+}
+
+TEST(WorkerPool, LruCapEvictsOldestUnreferencedOnly) {
+  ASSERT_EQ(setenv("SF_POOL_CACHE", "1", 1), 0);
+  const auto held = shared_pool(3, Affinity::None);
+  std::weak_ptr<WorkerPool> oldest = shared_pool(4, Affinity::None);
+  // Inserting another configuration over a cap of one evicts the oldest
+  // unreferenced entry (4 threads) but never the externally-held pool.
+  shared_pool(5, Affinity::None);
+  EXPECT_TRUE(oldest.expired());
+  EXPECT_EQ(shared_pool(3, Affinity::None).get(), held.get());
+  EXPECT_GE(pool_cache_size(), static_cast<std::size_t>(1));
+  unsetenv("SF_POOL_CACHE");
+  release_unused_pools();
+  EXPECT_TRUE(release_pool(3, Affinity::None));
 }
 
 // ---------------------------------------------------------------------------
