@@ -8,6 +8,13 @@
 // under which the paper's near-linear scaling reproduces on multi-node
 // machines. Default remains unpinned (identical results; placement only
 // affects locality).
+//
+// The pinned sweep additionally emits an explicit barrier-vs-pipelined
+// A/B of the flagship tiled method: "our-2step(barrier)" runs the
+// historical two-global-barriers-per-block wedge schedule
+// (Pipeline::Off), "our-2step(pipelined)" the point-to-point NeighborSync
+// schedule (Pipeline::On) — bitwise-identical results, so the column pair
+// isolates pure synchronization cost at each core count.
 #include <cstring>
 #include <iostream>
 
@@ -29,6 +36,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> header{"cores", "affinity"};
   for (const auto& m : methods) header.push_back(m.label);
+  // The pinned high-thread sweep is where barrier cost shows; give it the
+  // explicit schedule A/B columns.
+  const bool schedule_ab = aff != Affinity::None;
+  const bench::Competitor flagship{"our-2step", "ours-2step", Isa::Avx2};
+  if (schedule_ab) {
+    header.push_back("our-2step(barrier)");
+    header.push_back("our-2step(pipelined)");
+  }
 
   for (const auto& spec : all_presets()) {
     Table t(header);
@@ -47,6 +62,13 @@ int main(int argc, char** argv) {
         Solver s = bench::competitor_solver(m, spec, full);
         s.threads(c).affinity(aff);
         row.push_back(Table::num(s.run().gflops));
+      }
+      if (schedule_ab) {
+        for (Pipeline pl : {Pipeline::Off, Pipeline::On}) {
+          Solver s = bench::competitor_solver(flagship, spec, full);
+          s.threads(c).affinity(aff).pipeline(pl);
+          row.push_back(Table::num(s.run().gflops));
+        }
       }
       t.add_row(row);
     }

@@ -38,6 +38,16 @@
 ///    a pool beyond the cap evicts the least-recently-used unreferenced
 ///    configuration; pools still referenced by prepared plans or servers
 ///    are never evicted (runtime/worker_pool.hpp).
+///  * `SF_PIPELINE=0`     — select the legacy global-barrier wedge schedule
+///    instead of the default point-to-point neighbor pipeline
+///    (tiling/split_tiling.hpp Pipeline) wherever the request leaves
+///    Pipeline::Auto. Results are bitwise identical either way; the knob
+///    exists so the barrier path stays benchmarkable (fig10) and
+///    bisectable.
+///  * `SF_TEST_JITTER=n`  — test-only fault injection: each pipelined wedge
+///    stage first sleeps its worker a pseudo-random 0..n microseconds
+///    (runtime/worker_pool.hpp test_jitter_stall), forcing maximal stage
+///    skew between neighbors. Unset/0 (the default) is a no-op.
 #pragma once
 
 #include <cstdlib>
@@ -96,6 +106,14 @@ inline int pool_cache_cap() {
 /// debug-only escape hatch that drops per-call view validation.
 inline bool env_validate() {
   const char* v = std::getenv("SF_VALIDATE");
+  return v == nullptr || std::string(v) != "0";
+}
+
+/// SF_PIPELINE: false only when the variable is set to exactly "0" — the
+/// escape hatch that puts Pipeline::Auto requests back on the historical
+/// global-barrier wedge schedule.
+inline bool env_pipeline() {
+  const char* v = std::getenv("SF_PIPELINE");
   return v == nullptr || std::string(v) != "0";
 }
 

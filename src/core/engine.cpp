@@ -823,6 +823,8 @@ void resolve_request(const StencilSpec& spec, Extents& ext, ExecOptions& opts,
   if (opts.affinity == Affinity::None) opts.affinity = env_affinity();
   if (opts.threads == 0) opts.threads = env_threads();
   opts.validate = opts.validate && env_validate();
+  if (opts.pipeline == Pipeline::Auto)
+    opts.pipeline = env_pipeline() ? Pipeline::On : Pipeline::Off;
   if (ext.nx == 0) ext.nx = spec.small_size[0];
   if (ext.ny == 0) ext.ny = spec.dims >= 2 ? spec.small_size[1] : 1;
   if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
@@ -851,6 +853,7 @@ std::uint64_t request_key(std::uint64_t spec_hash, const Extents& ext,
   h = fnv1a(h, static_cast<std::uint64_t>(o.layout));
   h = fnv1a(h, static_cast<std::uint64_t>(o.halo_policy));
   h = fnv1a(h, static_cast<std::uint64_t>(o.affinity));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.pipeline));
   h = fnv1a(h, o.validate ? 1u : 0u);
   return h;
 }
@@ -939,6 +942,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
            e.opts.layout == opts.layout &&
            e.opts.halo_policy == opts.halo_policy &&
            e.opts.affinity == opts.affinity &&
+           e.opts.pipeline == opts.pipeline &&
            e.opts.validate == opts.validate &&
            same_spec(e.state->spec, spec);
   };
@@ -1000,6 +1004,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   req.tile = opts.tile;
   req.time_block = opts.time_block;
   req.affinity = opts.affinity;
+  req.pipeline = opts.pipeline;
   st->plan = plan_execution(req);
 
   // Build or reuse the runtime pool the tiled stages will run on (shared

@@ -96,6 +96,14 @@ struct ExecOptions {
   ///< leaves workers unpinned — results are bitwise identical across
   ///< policies; placement changes locality only. When left at None the
   ///< process-wide `SF_AFFINITY` default applies.
+  Pipeline pipeline = Pipeline::Auto;
+  ///< Cross-block synchronization of the parallel wedge stages
+  ///< (tiling/split_tiling.hpp Pipeline): point-to-point neighbor sync
+  ///< (On, the default via Auto) or the historical global stage barriers
+  ///< (Off). Results are bitwise identical either way. Auto resolves the
+  ///< process-wide `SF_PIPELINE` default at prepare() time, so prepared
+  ///< handles are env-immune and the plan cache keys on the effective
+  ///< value.
   bool validate = true;
   ///< Per-call FieldView validation in run()/advance(). Default on; the
   ///< debug-only escape hatch (`validate = false`, or `SF_VALIDATE=0`

@@ -5,9 +5,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <climits>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -36,6 +41,63 @@ namespace {
 thread_local const WorkerPool* tls_current_pool = nullptr;
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// NeighborSync
+// ---------------------------------------------------------------------------
+
+void NeighborSync::reset(int workers) {
+  if (workers > workers_) slots_.reset(new Slot[static_cast<std::size_t>(workers)]);
+  workers_ = workers;
+  for (int w = 0; w < workers; ++w)
+    slots_[static_cast<std::size_t>(w)].seq.store(0, std::memory_order_relaxed);
+}
+
+void NeighborSync::publish(int w, long round) {
+  slots_[static_cast<std::size_t>(w)].seq.store(round,
+                                                std::memory_order_release);
+}
+
+void NeighborSync::wait_for(int w, long round) const {
+  const std::atomic<long>& seq = slots_[static_cast<std::size_t>(w)].seq;
+  // Short spin first (the common case: the neighbor is at most one stage
+  // behind), then yield so oversubscribed pools donate CPU to the worker
+  // being waited on instead of starving it.
+  for (int spin = 0; spin < 1024; ++spin) {
+    if (seq.load(std::memory_order_acquire) >= round) return;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  while (seq.load(std::memory_order_acquire) < round)
+    std::this_thread::yield();
+}
+
+void NeighborSync::abandon(int w) { publish(w, LONG_MAX); }
+
+// ---------------------------------------------------------------------------
+// Test-only jitter injection
+// ---------------------------------------------------------------------------
+
+void test_jitter_stall(int worker) {
+  // Read per call, not once: tests setenv/unsetenv around individual cases
+  // and a cached parse would go stale. One getenv per *stage* (not per
+  // wedge) is noise next to the stage's compute.
+  const char* v = std::getenv("SF_TEST_JITTER");
+  if (v == nullptr || *v == '\0') return;
+  const long max_us = std::atol(v);
+  if (max_us <= 0) return;
+  // xorshift64, seeded from the worker index so neighbors skew differently
+  // and deterministically within one thread's stage sequence.
+  thread_local std::uint64_t state = 0;
+  if (state == 0)
+    state = (static_cast<std::uint64_t>(worker) + 1) * 0x9e3779b97f4a7c15ull;
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      static_cast<long>(state % static_cast<std::uint64_t>(max_us + 1))));
+}
 
 struct WorkerPool::Sync {
   std::mutex run_mu;  // serializes whole tasks across master threads
@@ -113,14 +175,8 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : sync_->threads) t.join();
 }
 
-void WorkerPool::run(const std::function<void(int)>& fn) {
-  if (tls_current_pool == this) {
-    // Nested run() from one of our own workers: execute inline serially.
-    for (int w = 0; w < threads(); ++w) fn(w);
-    return;
-  }
+void WorkerPool::run_locked(const std::function<void(int)>& fn) {
   Sync& s = *sync_;
-  std::lock_guard<std::mutex> task_lock(s.run_mu);
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(s.mu);
@@ -134,6 +190,41 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
     err = s.first_error;
   }
   if (err) std::rethrow_exception(err);
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (tls_current_pool == this) {
+    // Nested run() from one of our own workers: execute inline serially.
+    for (int w = 0; w < threads(); ++w) fn(w);
+    return;
+  }
+  std::lock_guard<std::mutex> task_lock(sync_->run_mu);
+  run_locked(fn);
+}
+
+bool WorkerPool::on_worker_thread() const { return tls_current_pool == this; }
+
+void WorkerPool::run_pipelined(
+    const std::function<void(int, NeighborSync&)>& fn) {
+  if (tls_current_pool == this)
+    throw std::logic_error(
+        "WorkerPool::run_pipelined called from a worker of the same pool; "
+        "pipelined tasks cannot run inline (gate on on_worker_thread())");
+  // The sync reset must be ordered against other tasks on this pool, so it
+  // happens under the same task mutex the dispatch uses.
+  std::lock_guard<std::mutex> task_lock(sync_->run_mu);
+  nsync_.reset(threads());
+  run_locked([&](int w) {
+    try {
+      fn(w, nsync_);
+    } catch (...) {
+      // Unblock neighbors waiting on this worker's counter before the
+      // pool captures the exception — otherwise they spin on a round the
+      // thrower will never publish and the task never joins.
+      nsync_.abandon(w);
+      throw;
+    }
+  });
 }
 
 void WorkerPool::parallel_for(int begin, int end,

@@ -25,6 +25,7 @@
 /// never pays thread creation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -65,6 +66,53 @@ struct PlacementPlan {
 /// independent).
 PlacementPlan balanced_placement(int ntiles, int workers, Affinity affinity);
 
+/// Point-to-point progress counters for pipelined pool tasks: one padded
+/// acquire/release sequence number per worker. A long-lived task
+/// (WorkerPool::run_pipelined) publishes monotonically increasing round
+/// numbers as it completes stages; a neighbor that needs the published data
+/// waits only on that worker's counter — no global barrier, so fast workers
+/// pipeline ahead into their next stage while slow ones finish.
+///
+/// The release store in publish() paired with the acquire load in
+/// wait_for() makes every write the publisher performed before publishing
+/// visible to the waiter — that is the whole memory-ordering contract the
+/// barrier used to provide, scoped down to one producer/consumer edge.
+class NeighborSync {
+ public:
+  /// Re-arms the counters for a task over `workers` workers (all zero).
+  /// Must not race with publish/wait (the pool resets between tasks, under
+  /// its task serialization).
+  void reset(int workers);
+  /// Announces worker `w` has completed `round` (release; rounds must be
+  /// published in increasing order per worker).
+  void publish(int w, long round);
+  /// Blocks until worker `w` has published at least `round` (acquire).
+  /// Spins briefly, then yields — oversubscribed pools make progress
+  /// because waiters donate their CPU to the workers they wait on.
+  void wait_for(int w, long round) const;
+  /// Marks worker `w` as finished with every round it could ever publish
+  /// (used on the exception path so neighbors waiting on a dead worker
+  /// unblock instead of hanging).
+  void abandon(int w);
+  /// Number of workers the last reset() armed (0 before any reset).
+  int workers() const { return workers_; }
+
+ private:
+  struct alignas(64) Slot {  // one cache line per worker: no false sharing
+    std::atomic<long> seq{0};
+  };
+  std::unique_ptr<Slot[]> slots_;
+  int workers_ = 0;
+};
+
+/// Test-only fault injection for pipelined schedules: sleeps the calling
+/// worker a pseudo-random 0..SF_TEST_JITTER microseconds (deterministic per
+/// worker index sequence, distinct across workers) so stress tests force
+/// maximal stage skew between neighbors. Compiled in always; returns
+/// immediately when `SF_TEST_JITTER` is unset or 0, so production pays one
+/// getenv per stage and nothing else.
+void test_jitter_stall(int worker);
+
 /// Persistent worker pool with optional topology pinning. Workers are
 /// spawned in the constructor, parked between tasks, and joined in the
 /// destructor. Thread-safe: concurrent run() calls from distinct master
@@ -99,6 +147,28 @@ class WorkerPool {
   /// barrier.
   void run(const std::function<void(int)>& fn);
 
+  /// Long-lived-task mode: runs `fn(worker_index, sync)` on every worker
+  /// with a freshly re-armed NeighborSync, and returns when all workers
+  /// have finished. Unlike run() — where each pool dispatch is a stage and
+  /// the task boundary a global barrier — a pipelined task spans many
+  /// stages and orders itself purely through the sync object's
+  /// point-to-point publish/wait edges, so workers never collectively
+  /// rendezvous until the final task join. A worker that throws has its
+  /// counter abandon()ed before the exception is captured, so neighbors
+  /// waiting on it unblock; the first exception is rethrown on the caller
+  /// after the join, exactly as run().
+  ///
+  /// Must be called from off-pool threads only: a pipelined schedule
+  /// cannot degrade to the inline serial execution nested run() uses
+  /// (worker w's waits on w+1 could never be satisfied in index order), so
+  /// a nested call throws std::logic_error. Callers gate on
+  /// on_worker_thread() and fall back to their barrier path.
+  void run_pipelined(const std::function<void(int, NeighborSync&)>& fn);
+
+  /// True when the calling thread is one of this pool's workers (a nested
+  /// run() would execute inline; run_pipelined() would throw).
+  bool on_worker_thread() const;
+
   /// Static parallel for: splits [begin, end) into the
   /// balanced_placement() chunks and calls `fn(i)` for each index on its
   /// owning worker.
@@ -127,9 +197,13 @@ class WorkerPool {
 
   struct Sync;  // pimpl: mutexes/condvars/thread handles
 
+  // Dispatches one task over all workers; caller holds the task mutex.
+  void run_locked(const std::function<void(int)>& fn);
+
   std::vector<Worker> workers_;
   Affinity affinity_ = Affinity::None;
   std::unique_ptr<Sync> sync_;
+  NeighborSync nsync_;  // reused per run_pipelined() task
 };
 
 /// The process-wide pool for a (threads, affinity) configuration, built on

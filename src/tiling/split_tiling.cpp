@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/env.hpp"
 #include "fold/folding_plan.hpp"
 #include "grid/grid_utils.hpp"
 #include "kernels/kernels2d_impl.hpp"
@@ -38,7 +39,8 @@ struct WedgePlan {
   int H = 0;      // super-steps per time block
   int threads = 1;
   Affinity affinity = Affinity::None;
-  bool blocked = true;  // false: domain too small, run unblocked
+  bool blocked = true;   // false: domain too small, run unblocked
+  bool pipeline = true;  // false: legacy global-barrier stage schedule
 };
 
 /// Internal view of negotiate_wedge() with time measured in super-steps.
@@ -55,7 +57,20 @@ WedgePlan make_plan(int n, int slope, int super_steps, const TilePlan& opt,
   w.threads = g.threads;
   w.affinity = opt.affinity;
   w.blocked = g.blocked;
+  w.pipeline = opt.pipeline == Pipeline::On ||
+               (opt.pipeline == Pipeline::Auto && env_pipeline());
   return w;
+}
+
+/// True when the wedge schedule will run its point-to-point pipelined path:
+/// a real pool, more than one worker, the plan asks for it, and the caller
+/// is not itself a worker of that pool (a nested pipelined task cannot run
+/// inline — worker w's waits on w+1 would never be satisfied in index
+/// order — so nested runs keep the barrier schedule, which degrades to
+/// inline serial stages safely).
+bool pipelined_schedule(const WedgePlan& w, WorkerPool* pool) {
+  return pool != nullptr && w.pipeline && pool->threads() > 1 &&
+         !pool->on_worker_thread();
 }
 
 /// The pool of a wedge plan: the shared (threads, affinity) pool for
@@ -70,56 +85,113 @@ std::shared_ptr<WorkerPool> plan_pool(const WedgePlan& w) {
 /// triangles; Jacobi parity buffers make partial-level reads exact).
 /// adv(in, out, lo, hi, worker) performs one super-step on [lo, hi) of the
 /// tiled dimension (`worker` is the executing pool worker, -1 on the
-/// calling thread); `cursor` tracks which buffer holds the current state.
+/// calling thread). The buffer-parity cursor is passed *by value* into each
+/// stage call — explicit per (worker, round) state, never a shared variable
+/// a pipelined worker could read torn while another advances it.
 ///
-/// Stages run as pool tasks: every worker walks exactly the tile range the
-/// balanced_placement() ownership map assigns it — the same contiguous
-/// chunks OpenMP's schedule(static) produced, and the same map the planner
-/// reports (ExecutionPlan::placement) and first_touch() initializes by, so
-/// a worker's tiles stay on its NUMA node across all super-steps. The
-/// barrier between the up (triangles) and down (inverted triangles) stages
-/// is the pool task boundary.
+/// Every worker walks exactly the tile range the balanced_placement()
+/// ownership map assigns it — the same contiguous chunks OpenMP's
+/// schedule(static) produced, and the same map the planner reports
+/// (ExecutionPlan::placement) and first_touch() initializes by, so a
+/// worker's tiles stay on its NUMA node across all super-steps.
+///
+/// Two schedules execute that identical wedge set (bitwise-identical
+/// results; only the waiting differs):
+///
+///  * Barrier (w.pipeline false, or serial, or nested-on-pool): stages run
+///    as pool tasks; the barrier between the up (triangles) and down
+///    (inverted triangles) stages is the pool task boundary.
+///
+///  * Pipelined (pipelined_schedule()): one long-lived task per worker with
+///    point-to-point NeighborSync counters. Worker w publishes seq = 2b+1
+///    after its up stage of block b and seq = 2b+2 after its down stage.
+///    With contiguous ownership exactly two waits cover every cross-worker
+///    hazard: before up(b>0), wait seq[w+1] >= 2b — the boundary wedge at
+///    tile t1 (owned by w+1) rewrote rows w's top tile reads, and w's own
+///    up writes into rows that down wedge read (RAW + WAR in one edge);
+///    before down(b), wait seq[w-1] >= 2b+1 — the down wedge at tile t0
+///    reads w-1's up flank below t0*tile. All remaining stage overlaps are
+///    disjoint by the blocked-geometry guarantee tile >= (2H+1)*slope.
+///    Edge workers skip the missing-neighbor wait; empty-range workers
+///    (ntiles < workers) execute nothing but still publish every round, so
+///    neighbors indexed past them never deadlock.
+///
+/// `prologue(t0, t1, wk)`, when set, runs on each worker before its first
+/// up stage (pipelined path only — callers must gate on
+/// pipelined_schedule()): the resident-layout transform of the worker's own
+/// rows overlaps the first super-step instead of serializing in front of
+/// it. No extra sync edge is needed: up(0) reads only the worker's own rows
+/// (plus domain-end halo rows, owned by the same edge worker), and down(0)
+/// already waits on w-1's up(0) publish, which transitively orders w-1's
+/// prologue.
 template <class G, class Adv>
 int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
-                   WorkerPool* pool) {
+                   WorkerPool* pool,
+                   const std::function<void(int, int, int)>& prologue = {}) {
   G* bufs[2] = {&a, &b};
-  int cursor = 0;
   const int ntiles = (w.n + w.tile - 1) / w.tile;
   const int nworkers = pool != nullptr ? pool->threads() : 1;
   const PlacementPlan place = balanced_placement(ntiles, nworkers, w.affinity);
-  auto up_tile = [&](int kt, int hb, int wk) {
+  auto up_tile = [&](int kt, int hb, int cur, int wk) {
     const int x0 = kt * w.tile;
     const int x1 = std::min(w.n, x0 + w.tile);
     for (int sg = 1; sg <= hb; ++sg) {
       const int lo = x0 == 0 ? 0 : x0 + sg * w.slope;
       const int hi = x1 == w.n ? w.n : x1 - sg * w.slope;
       if (lo < hi)
-        adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi,
-            wk);
+        adv(*bufs[(cur + sg - 1) & 1], *bufs[(cur + sg) & 1], lo, hi, wk);
     }
   };
-  auto down_tile = [&](int kt, int hb, int wk) {
+  auto down_tile = [&](int kt, int hb, int cur, int wk) {
     const int xc = kt * w.tile;
     for (int sg = 1; sg <= hb; ++sg) {
       const int lo = std::max(0, xc - sg * w.slope);
       const int hi = std::min(w.n, xc + sg * w.slope);
-      adv(*bufs[(cursor + sg - 1) & 1], *bufs[(cursor + sg) & 1], lo, hi, wk);
+      adv(*bufs[(cur + sg - 1) & 1], *bufs[(cur + sg) & 1], lo, hi, wk);
     }
   };
+  if (pipelined_schedule(w, pool)) {
+    pool->run_pipelined([&](int wk, NeighborSync& sync) {
+      const auto [t0, t1] = place.tiles_of(wk);
+      if (prologue) prologue(t0, t1, wk);
+      int cur = 0;
+      long b = 0;
+      for (int s0 = 0; s0 < super_steps; s0 += w.H, ++b) {
+        const int hb = std::min(w.H, super_steps - s0);
+        if (b > 0 && wk + 1 < nworkers) sync.wait_for(wk + 1, 2 * b);
+        test_jitter_stall(wk);
+        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, cur, wk);
+        sync.publish(wk, 2 * b + 1);
+        if (wk > 0) sync.wait_for(wk - 1, 2 * b + 1);
+        test_jitter_stall(wk);
+        for (int kt = std::max(1, t0); kt < t1; ++kt)
+          down_tile(kt, hb, cur, wk);
+        sync.publish(wk, 2 * b + 2);
+        cur = (cur + hb) & 1;
+      }
+    });
+    // Every worker advanced parity identically; recompute, don't share.
+    int cursor = 0;
+    for (int s0 = 0; s0 < super_steps; s0 += w.H)
+      cursor = (cursor + std::min(w.H, super_steps - s0)) & 1;
+    return cursor;
+  }
+  int cursor = 0;
   for (int s0 = 0; s0 < super_steps; s0 += w.H) {
     const int hb = std::min(w.H, super_steps - s0);
     if (pool != nullptr) {
       pool->run([&](int wk) {
         const auto [t0, t1] = place.tiles_of(wk);
-        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, wk);
+        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, cursor, wk);
       });
       pool->run([&](int wk) {
         const auto [t0, t1] = place.tiles_of(wk);
-        for (int kt = std::max(1, t0); kt < t1; ++kt) down_tile(kt, hb, wk);
+        for (int kt = std::max(1, t0); kt < t1; ++kt)
+          down_tile(kt, hb, cursor, wk);
       });
     } else {
-      for (int kt = 0; kt < ntiles; ++kt) up_tile(kt, hb, -1);
-      for (int kt = 1; kt < ntiles; ++kt) down_tile(kt, hb, -1);
+      for (int kt = 0; kt < ntiles; ++kt) up_tile(kt, hb, cursor, -1);
+      for (int kt = 1; kt < ntiles; ++kt) down_tile(kt, hb, cursor, -1);
     }
     cursor = (cursor + hb) & 1;
   }
@@ -311,7 +383,19 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
   const bool tl = mth == Method::Ours;
   const bool dlt = mth == Method::DLT;
   const bool resident = tl && a.layout() == Layout::Transposed;
-  if (tl && !resident) {
+
+  const int super = tsteps / m;
+  const int rem = tsteps - super * m;
+  WedgePlan w = make_plan(ny, m * r, super, opt, m,
+                          sizeof(double) * static_cast<long>(nx));
+  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
+
+  // Pipelined blocked runs fold the to-layout transform into the schedule
+  // itself (each worker transposes its own rows as the wedge prologue — see
+  // wedge_schedule) instead of serializing it in front of the first stage.
+  const bool overlap_layout =
+      tl && !resident && w.blocked && pipelined_schedule(w, pool.get());
+  if (tl && !resident && !overlap_layout) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {
@@ -321,12 +405,6 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
 
   const FoldingPlan plan = mth == Method::Ours2 ? plan_folding(p, 2) : FoldingPlan{};
   const Pattern2D lam = power(p, 2);
-
-  const int super = tsteps / m;
-  const int rem = tsteps - super * m;
-  WedgePlan w = make_plan(ny, m * r, super, opt, m,
-                          sizeof(double) * static_cast<long>(nx));
-  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
 
   auto adv = [&](const FieldView2D& in, const FieldView2D& out, int lo, int hi,
                  int) {
@@ -348,7 +426,20 @@ void tiled2d_impl(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b
 
   int cursor = 0;
   if (w.blocked) {
-    cursor = wedge_schedule(a, b, w, super, adv, pool.get());
+    std::function<void(int, int, int)> prologue;
+    if (overlap_layout) {
+      prologue = [&](int t0, int t1, int) {
+        if (t0 >= t1) return;
+        // Own rows plus the halo rows attached to the domain-end tiles:
+        // the up stage reads y-neighbours of boundary rows, and both
+        // parity buffers serve as the read level at some stage.
+        const int y0 = t0 == 0 ? -a.halo() : t0 * w.tile;
+        const int y1 = t1 * w.tile >= ny ? ny + a.halo() : t1 * w.tile;
+        grid_transpose_layout_rows<W>(a, y0, y1);
+        grid_transpose_layout_rows<W>(b, y0, y1);
+      };
+    }
+    cursor = wedge_schedule(a, b, w, super, adv, pool.get(), prologue);
   } else {
     const FieldView2D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {
@@ -387,7 +478,19 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
   const bool tl = mth == Method::Ours;
   const bool dlt = mth == Method::DLT;
   const bool resident = tl && a.layout() == Layout::Transposed;
-  if (tl && !resident) {
+
+  const int super = tsteps / m;
+  const int rem = tsteps - super * m;
+  WedgePlan w = make_plan(
+      nz, m * r, super, opt, m,
+      sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
+  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
+
+  // See tiled2d_impl: pipelined blocked runs transpose per worker inside
+  // the schedule prologue instead of upfront.
+  const bool overlap_layout =
+      tl && !resident && w.blocked && pipelined_schedule(w, pool.get());
+  if (tl && !resident && !overlap_layout) {
     grid_transpose_layout<W>(a);
     grid_transpose_layout<W>(b);
   } else if (dlt) {
@@ -397,13 +500,6 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
 
   const FoldingPlan plan = mth == Method::Ours2 ? plan_folding(p, 2) : FoldingPlan{};
   const Pattern3D lam = power(p, 2);
-
-  const int super = tsteps / m;
-  const int rem = tsteps - super * m;
-  WedgePlan w = make_plan(
-      nz, m * r, super, opt, m,
-      sizeof(double) * static_cast<long>(ny) * static_cast<long>(nx));
-  const std::shared_ptr<WorkerPool> pool = serial ? nullptr : plan_pool(w);
 
   auto adv = [&](const FieldView3D& in, const FieldView3D& out, int lo, int hi,
                  int wk) {
@@ -433,7 +529,17 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
 
   int cursor = 0;
   if (w.blocked) {
-    cursor = wedge_schedule(a, b, w, super, adv, pool.get());
+    std::function<void(int, int, int)> prologue;
+    if (overlap_layout) {
+      prologue = [&](int t0, int t1, int) {
+        if (t0 >= t1) return;
+        const int z0 = t0 == 0 ? -a.halo() : t0 * w.tile;
+        const int z1 = t1 * w.tile >= nz ? nz + a.halo() : t1 * w.tile;
+        grid_transpose_layout_planes<W>(a, z0, z1);
+        grid_transpose_layout_planes<W>(b, z0, z1);
+      };
+    }
+    cursor = wedge_schedule(a, b, w, super, adv, pool.get(), prologue);
   } else {
     const FieldView3D* bufs[2] = {&a, &b};
     for (int s = 0; s < super; ++s) {

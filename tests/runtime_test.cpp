@@ -9,17 +9,21 @@
 #include <sys/stat.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/solver.hpp"
 #include "grid/grid_utils.hpp"
+#include "kernels/registry.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/worker_pool.hpp"
+#include "tiling/split_tiling.hpp"
 
 namespace sf {
 namespace {
@@ -367,6 +371,204 @@ TEST(RuntimeEngine, PinnedMatchesUnpinnedBitwiseAllPresets) {
 // SF_AFFINITY supplies the process default; an explicit option outranks
 // nothing here (the option is None), so the env decides — and the prepared
 // handle reports the resolved policy.
+// ---------------------------------------------------------------------------
+// NeighborSync + pipelined pool tasks
+// ---------------------------------------------------------------------------
+
+TEST(NeighborSync, PublishSatisfiesWait) {
+  NeighborSync sync;
+  sync.reset(3);
+  EXPECT_EQ(sync.workers(), 3);
+  sync.publish(1, 1);
+  sync.publish(1, 2);
+  sync.wait_for(1, 1);  // already satisfied: returns immediately
+  sync.wait_for(1, 2);
+  // reset() re-arms: counters back to zero for the next task.
+  sync.reset(3);
+  sync.publish(1, 1);
+  sync.wait_for(1, 1);
+}
+
+TEST(NeighborSync, WaitBlocksUntilNeighborPublishes) {
+  NeighborSync sync;
+  sync.reset(2);
+  int payload = 0;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    payload = 42;       // must be visible after the paired wait_for
+    sync.publish(0, 1); // release
+  });
+  sync.wait_for(0, 1);  // acquire
+  EXPECT_EQ(payload, 42);
+  t.join();
+}
+
+TEST(NeighborSync, AbandonUnblocksAnyFutureWait) {
+  NeighborSync sync;
+  sync.reset(2);
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sync.abandon(0);
+  });
+  sync.wait_for(0, 1);
+  sync.wait_for(0, 1000000);  // abandoned: every round reads as published
+  t.join();
+}
+
+TEST(WorkerPool, OnWorkerThreadIdentifiesOwnWorkersOnly) {
+  WorkerPool pool(2, Affinity::None);
+  WorkerPool other(2, Affinity::None);
+  EXPECT_FALSE(pool.on_worker_thread());
+  pool.run([&](int) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    EXPECT_FALSE(other.on_worker_thread());
+  });
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(WorkerPool, PipelinedWaveCompletesAndOrdersWrites) {
+  // A backward-propagating wave: worker w publishes round b only after its
+  // right neighbor published b-1; each round fills the worker's own slot
+  // for that round, read by the left neighbor after its wait — the
+  // acquire/release pairing must make every write before the publish
+  // visible. Slots are preallocated and each written exactly once, so the
+  // only cross-thread reads are of slots sequenced before a publish the
+  // reader has already waited on (slots past the published round may still
+  // be concurrently written and must not be touched).
+  const int n = 4, rounds = 50;
+  WorkerPool pool(n, Affinity::None);
+  std::vector<std::vector<int>> cells(
+      static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(rounds), 0));
+  pool.run_pipelined([&](int w, NeighborSync& sync) {
+    for (int b = 1; b <= rounds; ++b) {
+      if (w + 1 < n) {
+        sync.wait_for(w + 1, b - 1);
+        if (b > 1)
+          ASSERT_EQ(cells[static_cast<size_t>(w) + 1][static_cast<size_t>(b) -
+                                                      2],
+                    b - 1);
+      }
+      cells[static_cast<size_t>(w)][static_cast<size_t>(b) - 1] = b;
+      sync.publish(w, b);
+    }
+  });
+  for (int w = 0; w < n; ++w)
+    for (int b = 1; b <= rounds; ++b)
+      EXPECT_EQ(cells[static_cast<size_t>(w)][static_cast<size_t>(b) - 1], b);
+}
+
+TEST(WorkerPool, PipelinedReArmsAcrossTasks) {
+  WorkerPool pool(3, Affinity::None);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> done{0};
+    pool.run_pipelined([&](int w, NeighborSync& sync) {
+      // Stale counters from the previous task would satisfy this wait
+      // before the publish and let a worker read `done` too early.
+      sync.publish(w, 1);
+      for (int o = 0; o < 3; ++o) sync.wait_for(o, 1);
+      ++done;
+    });
+    EXPECT_EQ(done, 3);
+  }
+}
+
+TEST(WorkerPool, PipelinedWorkerExceptionUnblocksNeighbors) {
+  WorkerPool pool(3, Affinity::None);
+  EXPECT_THROW(pool.run_pipelined([&](int w, NeighborSync& sync) {
+                 if (w == 1) throw std::runtime_error("boom");
+                 // Workers 0 and 2 wait on rounds the dead worker will
+                 // never publish; abandon() must unblock them.
+                 sync.publish(w, 1);
+                 sync.wait_for(1, 1);
+               }),
+               std::runtime_error);
+  // The pool survives and runs pipelined tasks again.
+  std::atomic<int> ok{0};
+  pool.run_pipelined([&](int w, NeighborSync& sync) {
+    sync.publish(w, 1);
+    ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST(WorkerPool, PipelinedNestedCallThrows) {
+  WorkerPool pool(2, Affinity::None);
+  EXPECT_THROW(pool.run([&](int) {
+                 pool.run_pipelined([](int, NeighborSync&) {});
+               }),
+               std::logic_error);
+  // Off-pool threads (including another pool's workers) may still call it.
+  WorkerPool other(2, Affinity::None);
+  std::atomic<int> ran{0};
+  other.run([&](int w) {
+    if (w == 0)
+      pool.run_pipelined([&](int, NeighborSync&) { ++ran; });
+  });
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(WorkerPool, JitterStallZeroCostWhenUnset) {
+  unsetenv("SF_TEST_JITTER");
+  test_jitter_stall(0);  // no env: returns immediately, no crash
+  ASSERT_EQ(setenv("SF_TEST_JITTER", "0", 1), 0);
+  test_jitter_stall(1);
+  unsetenv("SF_TEST_JITTER");
+}
+
+// The jitter hook + a pipelined wave: adversarial per-worker stalls must
+// skew the stages without breaking the ordering contract.
+TEST(WorkerPool, PipelinedSurvivesJitter) {
+  ASSERT_EQ(setenv("SF_TEST_JITTER", "400", 1), 0);
+  const int n = 4, rounds = 12;
+  WorkerPool pool(n, Affinity::None);
+  std::vector<long> sum(static_cast<size_t>(n), 0);
+  pool.run_pipelined([&](int w, NeighborSync& sync) {
+    for (int b = 1; b <= rounds; ++b) {
+      test_jitter_stall(w);
+      if (w + 1 < n) sync.wait_for(w + 1, b - 1);
+      sum[static_cast<size_t>(w)] += b;
+      sync.publish(w, b);
+    }
+  });
+  unsetenv("SF_TEST_JITTER");
+  for (int w = 0; w < n; ++w)
+    EXPECT_EQ(sum[static_cast<size_t>(w)], rounds * (rounds + 1) / 2);
+}
+
+// Stress (ctest label `stress`): long adversarial runs — heavy jitter,
+// oversubscribed + pinned workers, full pipelined advances through the
+// tiling engine compared bitwise against the barrier schedule.
+TEST(WorkerPoolStress, JitterAdversarialSkewBitwise) {
+  ASSERT_EQ(setenv("SF_TEST_JITTER", "1500", 1), 0);
+  const auto& spec = preset(Preset::Heat2D);
+  const int ny = 128, nx = 64, tsteps = 24;
+  const int halo =
+      require_kernel(Method::Ours2, 2).required_halo(spec.p2.radius());
+  TilePlan barrier;
+  barrier.method = Method::Ours2;
+  barrier.tile = 16;
+  barrier.threads = 6;
+  barrier.pipeline = Pipeline::Off;
+  for (Affinity aff : {Affinity::None, Affinity::Compact, Affinity::Scatter}) {
+    barrier.affinity = aff;
+    TilePlan piped = barrier;
+    piped.pipeline = Pipeline::On;
+    for (int rep = 0; rep < 6; ++rep) {
+      Grid2D ba(ny, nx, halo), bb(ny, nx, halo), pa(ny, nx, halo),
+          pb(ny, nx, halo);
+      fill_random(ba, 100 + rep);
+      fill_random(pa, 100 + rep);
+      copy(ba, bb);
+      copy(pa, pb);
+      run_tile_plan(spec.p2, ba, bb, tsteps, barrier);
+      run_tile_plan(spec.p2, pa, pb, tsteps, piped);
+      EXPECT_EQ(max_abs_diff(pa, ba), 0.0)
+          << affinity_name(aff) << " rep " << rep;
+    }
+  }
+  unsetenv("SF_TEST_JITTER");
+}
+
 TEST(RuntimeEngine, EnvAffinityAppliesWhenUnset) {
   ASSERT_EQ(setenv("SF_AFFINITY", "compact", 1), 0);
   ExecOptions opts;

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
 
 #include "common/cpu.hpp"
 #include "grid/grid_utils.hpp"
@@ -211,6 +214,246 @@ TEST(Tiled, NegotiateWedgeRespectsOverridesAndBlocks) {
   one.threads = 1;
   g = negotiate_wedge(16, 2, 2, 64, one);
   EXPECT_FALSE(g.blocked);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined wedge schedule: serial == barrier == pipelined, bitwise
+// ---------------------------------------------------------------------------
+
+// xorshift64: deterministic across platforms, no <random> seeding quirks.
+std::uint64_t fz_next(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+int fz_in(std::uint64_t& s, int lo, int hi) {  // uniform-ish in [lo, hi]
+  return lo + static_cast<int>(fz_next(s) %
+                               static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+/// The three TilePlans of one equivalence check. `base` carries
+/// method/tile/time_block: an *explicit* tile is required — auto geometry
+/// negotiates per thread count and the runs would legitimately differ.
+struct PlanTriple {
+  TilePlan serial, barrier, piped;
+};
+PlanTriple plan_triple(const TilePlan& base, int threads, Affinity aff) {
+  PlanTriple t;
+  t.serial = base;
+  t.serial.threads = 1;
+  t.serial.affinity = Affinity::None;
+  t.barrier = base;
+  t.barrier.threads = threads;
+  t.barrier.affinity = aff;
+  t.barrier.pipeline = Pipeline::Off;
+  t.piped = t.barrier;
+  t.piped.pipeline = Pipeline::On;
+  return t;
+}
+
+void check_equiv_1d(const StencilSpec& spec, Method m, int n, int tsteps,
+                    const PlanTriple& t, int seed) {
+  const int radius =
+      std::max(spec.p1.radius(), spec.has_source ? spec.src1.radius() : 0);
+  const int halo = require_kernel(m, 1).required_halo(radius);
+  const Pattern1D* src = spec.has_source ? &spec.src1 : nullptr;
+  Grid1D k(n, halo);
+  fill_random(k, seed + 1);
+  const FieldView1D kv = k.view();
+  const FieldView1D* kk = spec.has_source ? &kv : nullptr;
+  Grid1D sa(n, halo), sb(n, halo), ba(n, halo), bb(n, halo), pa(n, halo),
+      pb(n, halo), ra(n, halo), rb(n, halo);
+  for (Grid1D* g : {&sa, &ba, &pa, &ra}) fill_random(*g, seed);
+  copy(sa, sb);
+  copy(ba, bb);
+  copy(pa, pb);
+  copy(ra, rb);
+  run_tile_plan(spec.p1, sa, sb, src, kk, tsteps, t.serial);
+  run_tile_plan(spec.p1, ba, bb, src, kk, tsteps, t.barrier);
+  run_tile_plan(spec.p1, pa, pb, src, kk, tsteps, t.piped);
+  EXPECT_EQ(max_abs_diff(ba, sa), 0.0) << "barrier vs serial";
+  EXPECT_EQ(max_abs_diff(pa, sa), 0.0) << "pipelined vs serial";
+  run_reference(spec.p1, ra, rb, tsteps, src, kk);
+  EXPECT_LE(max_abs_diff(pa, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+}
+
+void check_equiv_2d(const StencilSpec& spec, Method m, int ny, int nx,
+                    int tsteps, const PlanTriple& t, int seed) {
+  const int halo = require_kernel(m, 2).required_halo(spec.p2.radius());
+  Grid2D sa(ny, nx, halo), sb(ny, nx, halo), ba(ny, nx, halo),
+      bb(ny, nx, halo), pa(ny, nx, halo), pb(ny, nx, halo), ra(ny, nx, halo),
+      rb(ny, nx, halo);
+  for (Grid2D* g : {&sa, &ba, &pa, &ra}) fill_random(*g, seed);
+  copy(sa, sb);
+  copy(ba, bb);
+  copy(pa, pb);
+  copy(ra, rb);
+  run_tile_plan(spec.p2, sa, sb, tsteps, t.serial);
+  run_tile_plan(spec.p2, ba, bb, tsteps, t.barrier);
+  run_tile_plan(spec.p2, pa, pb, tsteps, t.piped);
+  EXPECT_EQ(max_abs_diff(ba, sa), 0.0) << "barrier vs serial";
+  EXPECT_EQ(max_abs_diff(pa, sa), 0.0) << "pipelined vs serial";
+  run_reference(spec.p2, ra, rb, tsteps);
+  EXPECT_LE(max_abs_diff(pa, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+}
+
+void check_equiv_3d(const StencilSpec& spec, Method m, int nz, int ny, int nx,
+                    int tsteps, const PlanTriple& t, int seed) {
+  const int halo = require_kernel(m, 3).required_halo(spec.p3.radius());
+  Grid3D sa(nz, ny, nx, halo), sb(nz, ny, nx, halo), ba(nz, ny, nx, halo),
+      bb(nz, ny, nx, halo), pa(nz, ny, nx, halo), pb(nz, ny, nx, halo),
+      ra(nz, ny, nx, halo), rb(nz, ny, nx, halo);
+  for (Grid3D* g : {&sa, &ba, &pa, &ra}) fill_random(*g, seed);
+  copy(sa, sb);
+  copy(ba, bb);
+  copy(pa, pb);
+  copy(ra, rb);
+  run_tile_plan(spec.p3, sa, sb, tsteps, t.serial);
+  run_tile_plan(spec.p3, ba, bb, tsteps, t.barrier);
+  run_tile_plan(spec.p3, pa, pb, tsteps, t.piped);
+  EXPECT_EQ(max_abs_diff(ba, sa), 0.0) << "barrier vs serial";
+  EXPECT_EQ(max_abs_diff(pa, sa), 0.0) << "pipelined vs serial";
+  run_reference(spec.p3, ra, rb, tsteps);
+  EXPECT_LE(max_abs_diff(pa, ra), 1e-11 * std::max(1.0, max_abs(ra)));
+}
+
+/// One seeded-random geometry draw + equivalence check: dims, preset,
+/// method, extents, explicit tile (possibly degenerate: single tile,
+/// ntiles < workers), time block (possibly H = 1), threads, affinity.
+void fuzz_iteration(std::uint64_t& s, int iter) {
+  const int dims = 1 + iter % 3;
+  static const Method methods[] = {Method::Naive, Method::DLT, Method::Ours,
+                                   Method::Ours2};
+  const Method m = methods[fz_in(s, 0, 3)];
+  const int tsteps = fz_in(s, 1, 18);
+  const int time_block = fz_in(s, 0, 3) == 0 ? fz_in(s, 1, 10) : 0;
+  const int threads = fz_in(s, 2, 8);
+  static const Affinity affs[] = {Affinity::None, Affinity::None,
+                                  Affinity::Compact, Affinity::Scatter};
+  const Affinity aff = affs[fz_in(s, 0, 3)];
+  const int seed = 1000 + iter;
+  SCOPED_TRACE("iter=" + std::to_string(iter) + " dims=" +
+               std::to_string(dims) + " method=" + method_name(m) +
+               " tsteps=" + std::to_string(tsteps) + " tb=" +
+               std::to_string(time_block) + " threads=" +
+               std::to_string(threads));
+  TilePlan base;
+  base.method = m;
+  base.time_block = time_block;
+  if (dims == 1) {
+    static const Preset presets[] = {Preset::Heat1D, Preset::P1D5,
+                                     Preset::Apop};
+    const auto& spec = preset(presets[fz_in(s, 0, 2)]);
+    const int n = fz_in(s, 48, 1200);
+    base.tile = fz_in(s, 8, n + 8);  // may exceed n: single-tile/unblocked
+    SCOPED_TRACE(std::string(spec.name) + " n=" + std::to_string(n) +
+                 " tile=" + std::to_string(base.tile));
+    check_equiv_1d(spec, m, n, tsteps, plan_triple(base, threads, aff), seed);
+  } else if (dims == 2) {
+    static const Preset presets[] = {Preset::Heat2D, Preset::Box2D9,
+                                     Preset::Life, Preset::GB};
+    const auto& spec = preset(presets[fz_in(s, 0, 3)]);
+    const int ny = fz_in(s, 24, 128), nx = fz_in(s, 16, 96);
+    base.tile = fz_in(s, 6, ny + 6);
+    SCOPED_TRACE(std::string(spec.name) + " ny=" + std::to_string(ny) +
+                 " nx=" + std::to_string(nx) + " tile=" +
+                 std::to_string(base.tile));
+    check_equiv_2d(spec, m, ny, nx, tsteps, plan_triple(base, threads, aff),
+                   seed);
+  } else {
+    static const Preset presets[] = {Preset::Heat3D, Preset::Box3D27};
+    const auto& spec = preset(presets[fz_in(s, 0, 1)]);
+    const int nz = fz_in(s, 10, 40), ny = fz_in(s, 8, 28),
+              nx = fz_in(s, 8, 28);
+    base.tile = fz_in(s, 4, nz + 4);
+    SCOPED_TRACE(std::string(spec.name) + " nz=" + std::to_string(nz) +
+                 " ny=" + std::to_string(ny) + " nx=" + std::to_string(nx) +
+                 " tile=" + std::to_string(base.tile));
+    check_equiv_3d(spec, m, nz, ny, nx, tsteps, plan_triple(base, threads, aff),
+                   seed);
+  }
+}
+
+TEST(TiledPipeline, FuzzQuick) {
+  std::uint64_t s = 0x5f5f5f5f12345678ull;
+  for (int iter = 0; iter < 36; ++iter) fuzz_iteration(s, iter);
+}
+
+// Acceptance sweep: all nine presets at their native dimensionality,
+// pinned (compact + scatter) and unpinned — pipelined bitwise equal to the
+// barrier schedule and to the serial run.
+TEST(TiledPipeline, AllPresetsPinnedAndUnpinned) {
+  for (Affinity aff :
+       {Affinity::None, Affinity::Compact, Affinity::Scatter}) {
+    SCOPED_TRACE(affinity_name(aff));
+    TilePlan base;
+    base.method = Method::Ours2;
+    for (Preset p : {Preset::Heat1D, Preset::P1D5, Preset::Apop}) {
+      base.tile = 96;
+      check_equiv_1d(preset(p), base.method, 700, 12,
+                     plan_triple(base, 4, aff), 11);
+    }
+    for (Preset p :
+         {Preset::Heat2D, Preset::Box2D9, Preset::Life, Preset::GB}) {
+      base.tile = 20;
+      check_equiv_2d(preset(p), base.method, 96, 64, 10,
+                     plan_triple(base, 4, aff), 12);
+    }
+    for (Preset p : {Preset::Heat3D, Preset::Box3D27}) {
+      base.tile = 10;
+      check_equiv_3d(preset(p), base.method, 32, 20, 18, 8,
+                     plan_triple(base, 4, aff), 13);
+    }
+  }
+}
+
+// Regression (empty-range workers): with fewer tiles than workers the tail
+// workers execute zero wedges but must still publish their sequence
+// counters every round — a worker waiting on an idle neighbor would
+// otherwise deadlock. Pinned under both policies, where workers share CPUs
+// and the skew is worst.
+TEST(TiledPipeline, MoreWorkersThanTilesPublishesAndCompletes) {
+  for (Affinity aff : {Affinity::Compact, Affinity::Scatter}) {
+    SCOPED_TRACE(affinity_name(aff));
+    TilePlan base;
+    base.method = Method::Ours2;
+    base.tile = 48;  // ny = 96 -> 2 tiles, 8 workers: 6 empty ranges
+    check_equiv_2d(preset(Preset::Heat2D), base.method, 96, 64, 12,
+                   plan_triple(base, 8, aff), 21);
+  }
+}
+
+TEST(TiledPipeline, SingleTileFallsBackUnblocked) {
+  TilePlan base;
+  base.method = Method::Ours;
+  base.tile = 512;  // tile >= n: cannot block, full sweeps on every path
+  check_equiv_1d(preset(Preset::Heat1D), base.method, 400, 10,
+                 plan_triple(base, 4, Affinity::None), 31);
+}
+
+TEST(TiledPipeline, MinimalTimeBlockHEqualsOne) {
+  TilePlan base;
+  base.method = Method::Ours2;
+  base.time_block = 2;  // fold depth m = 2 -> H = 1: waits every super-step
+  base.tile = 24;
+  check_equiv_2d(preset(Preset::Box2D9), base.method, 96, 48, 9,
+                 plan_triple(base, 4, Affinity::None), 41);
+  base.method = Method::Ours;  // m = 1 -> H = 1 directly
+  base.time_block = 1;
+  check_equiv_2d(preset(Preset::Heat2D), base.method, 96, 48, 9,
+                 plan_triple(base, 4, Affinity::None), 42);
+}
+
+// The long fuzz (ctest label `stress`, excluded from the default run):
+// many more geometry draws, half of them under SF_TEST_JITTER so the
+// schedules are maximally skewed while the bitwise assertions hold.
+TEST(TiledPipelineStress, FuzzLong) {
+  std::uint64_t s = 0xabcdef9876543210ull;
+  for (int iter = 0; iter < 90; ++iter) fuzz_iteration(s, iter);
+  ASSERT_EQ(setenv("SF_TEST_JITTER", "300", 1), 0);
+  for (int iter = 90; iter < 150; ++iter) fuzz_iteration(s, iter);
+  unsetenv("SF_TEST_JITTER");
 }
 
 TEST(Tiled, DeprecatedRunTiledShimStillWorks) {
