@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
     header.push_back("our-2step(pipelined)");
   }
 
+  // Machine-readable trajectory: every (stencil, method, cores) GFLOP/s
+  // lands in BENCH_fig10.json alongside the CSVs (scripts/bench_summary.py
+  // merges these across runs/PRs).
+  std::vector<std::pair<std::string, double>> summary;
   for (const auto& spec : all_presets()) {
     Table t(header);
     std::cout << "Figure 10 (" << spec.name << "): GFLOP/s vs cores"
@@ -54,6 +58,11 @@ int main(int argc, char** argv) {
               << "\n";
     for (int c : cores) {
       std::vector<std::string> row{std::to_string(c), affinity_name(aff)};
+      const auto record = [&](const std::string& label, double gflops) {
+        summary.emplace_back(std::string(spec.name) + "." + label + ".c" +
+                                 std::to_string(c),
+                             gflops);
+      };
       for (const auto& m : methods) {
         if (m.isa == Isa::Avx512 && !cpu_has_avx512()) {
           row.push_back("-");
@@ -61,18 +70,25 @@ int main(int argc, char** argv) {
         }
         Solver s = bench::competitor_solver(m, spec, full);
         s.threads(c).affinity(aff);
-        row.push_back(Table::num(s.run().gflops));
+        const double gflops = s.run().gflops;
+        record(m.label, gflops);
+        row.push_back(Table::num(gflops));
       }
       if (schedule_ab) {
         for (Pipeline pl : {Pipeline::Off, Pipeline::On}) {
           Solver s = bench::competitor_solver(flagship, spec, full);
           s.threads(c).affinity(aff).pipeline(pl);
-          row.push_back(Table::num(s.run().gflops));
+          const double gflops = s.run().gflops;
+          record(pl == Pipeline::Off ? "our-2step-barrier"
+                                     : "our-2step-pipelined",
+                 gflops);
+          row.push_back(Table::num(gflops));
         }
       }
       t.add_row(row);
     }
     bench::emit(t, std::string("fig10_") + spec.name);
   }
+  bench::emit_bench_json("fig10", summary);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util/harness.hpp"
@@ -28,6 +29,7 @@
 #include "core/engine.hpp"
 #include "grid/grid_utils.hpp"
 #include "serving/server.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sf::bench {
 namespace {
@@ -48,6 +50,26 @@ struct LoadPoint {
   double wall = 0;                // seconds for the whole load
   long requests = 0;
 };
+
+// Histogram delta between two telemetry snapshots — isolates one load
+// point's observations from the process-lifetime totals.
+telemetry::HistogramSample hist_delta(const telemetry::Snapshot& before,
+                                      const telemetry::Snapshot& after,
+                                      const std::string& name) {
+  telemetry::HistogramSample d;
+  d.name = name;
+  d.buckets.fill(0);
+  const telemetry::HistogramSample* a = after.find_histogram(name);
+  if (a == nullptr) return d;
+  d = *a;
+  if (const telemetry::HistogramSample* b = before.find_histogram(name)) {
+    d.count -= b->count;
+    d.sum -= b->sum;
+    for (std::size_t i = 0; i < d.buckets.size(); ++i)
+      d.buckets[i] -= b->buckets[i];
+  }
+  return d;
+}
 
 // Runs `nclients` closed-loop clients, each issuing `reqs` requests through
 // `issue(client, request_index)` which must block until the request
@@ -100,6 +122,7 @@ void sweep() {
 
   Table t({"mode", "clients", "requests", "p50 ms", "p99 ms", "wall s",
            "GFLOP/s", "req/s"});
+  std::vector<std::pair<std::string, double>> summary;  // BENCH_serving.json
   const auto add = [&](const char* mode, int nclients, LoadPoint lp) {
     const double p50 = percentile(lp.latencies, 0.50) * 1e3;
     const double p99 = percentile(lp.latencies, 0.99) * 1e3;
@@ -109,6 +132,38 @@ void sweep() {
                Table::num(p50, 3), Table::num(p99, 3), Table::num(lp.wall, 2),
                Table::num(gflops, 2),
                Table::num(static_cast<double>(lp.requests) / lp.wall, 0)});
+    const std::string key = std::string(mode) + ".c" + std::to_string(nclients);
+    summary.emplace_back(key + ".gflops", gflops);
+    summary.emplace_back(key + ".p50_ms", p50);
+    summary.emplace_back(key + ".p99_ms", p99);
+    summary.emplace_back(key + ".req_s",
+                         static_cast<double>(lp.requests) / lp.wall);
+  };
+
+  // Server-side telemetry per batched load point (SF_METRICS=1): queue and
+  // exec latency plus batch-size/queue-depth percentiles, as snapshot
+  // deltas so each row isolates its own load point. Emitted as the
+  // telemetry_* plot family ("p50/p99 over the load sweep").
+  const bool telem = sf::telemetry::metrics_enabled();
+  Table tt({"clients", "queue_p50_ms", "queue_p99_ms", "exec_p50_ms",
+            "exec_p99_ms", "batch_p50", "batch_p99", "depth_p50",
+            "depth_p99"});
+  const auto add_telemetry = [&](int nclients,
+                                 const telemetry::Snapshot& before) {
+    const telemetry::Snapshot after = telemetry::snapshot();
+    const auto queue = hist_delta(before, after, "serving.queue_us");
+    const auto exec = hist_delta(before, after, "serving.exec_us");
+    const auto batch = hist_delta(before, after, "serving.batch_size");
+    const auto depth = hist_delta(before, after, "serving.queue_depth");
+    tt.add_row({std::to_string(nclients),
+                Table::num(queue.percentile(50) / 1e3, 3),
+                Table::num(queue.percentile(99) / 1e3, 3),
+                Table::num(exec.percentile(50) / 1e3, 3),
+                Table::num(exec.percentile(99) / 1e3, 3),
+                Table::num(batch.percentile(50), 1),
+                Table::num(batch.percentile(99), 1),
+                Table::num(depth.percentile(50), 1),
+                Table::num(depth.percentile(99), 1)});
   };
 
   for (int nclients = 1; nclients <= max_clients; nclients *= 2) {
@@ -140,6 +195,7 @@ void sweep() {
 
     // batched: same-plan requests drained together run as one dispatch.
     {
+      const telemetry::Snapshot before = telemetry::snapshot();
       ServerOptions so;
       so.queue_capacity = 4096;
       so.max_batch = 64;
@@ -153,9 +209,22 @@ void sweep() {
                 .wait();
             return timer.seconds();
           }));
+      if (telem) add_telemetry(nclients, before);
     }
   }
   emit(t, "serving_heat2d");
+  if (telem) {
+    emit(tt, "telemetry_latency_heat2d");
+    // Full queue-depth/batch-size/latency histograms + counters, as the
+    // telemetry_* CSV family (plot_figures.py renders the histograms).
+    telemetry::write_reports(bench_out_dir());
+    std::printf("%s\n", telemetry::text_dump().c_str());
+  } else {
+    std::printf(
+        "(SF_METRICS unset: no server-side queue/batch telemetry; rerun "
+        "with SF_METRICS=1 for histograms)\n");
+  }
+  emit_bench_json("serving", summary);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Merge the BENCH_*.json summaries the bench harnesses write into one
+perf-trajectory table.
+
+bench/serving_throughput.cpp and bench/fig10_scalability.cpp write
+$SF_BENCH_OUT/BENCH_serving.json / BENCH_fig10.json — fixed-name,
+machine-readable {metric: value} maps stamped with the run time
+(src/bench_util/harness.hpp emit_bench_json). Point this script at one or
+more directories holding such files (e.g. one directory per PR checkout,
+or an archive of successive runs) and it merges them into a long-form CSV:
+
+    python3 scripts/bench_summary.py results-pr7 results-pr8 -o traj.csv
+
+Output columns: dir, bench, stamp, metric, value — one row per metric per
+file, ready for pandas/spreadsheet pivoting (metric as index, dir as
+columns gives the across-PR trajectory). With no -o, prints the table and
+a quick per-bench summary to stdout. Stdlib only; no third-party deps.
+"""
+
+import argparse
+import csv
+import glob
+import json
+import os
+import sys
+
+
+def load_summaries(dirs):
+    """Yields (dir, bench, stamp, metric, value) rows from every
+    BENCH_*.json under the given directories (non-recursive)."""
+    found = 0
+    for d in dirs:
+        for path in sorted(glob.glob(os.path.join(d, "BENCH_*.json"))):
+            try:
+                with open(path) as f:
+                    doc = json.load(f)
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"skipping {path}: {e}", file=sys.stderr)
+                continue
+            found += 1
+            bench = doc.get("bench",
+                            os.path.basename(path)[len("BENCH_"):-len(".json")])
+            stamp = doc.get("stamp", "")
+            for metric, value in sorted(doc.get("metrics", {}).items()):
+                yield d, bench, stamp, metric, value
+    if found == 0:
+        sys.exit("no BENCH_*.json found in: " + ", ".join(dirs) +
+                 " (run the bench harnesses with SF_BENCH_OUT set first)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Merge BENCH_*.json bench summaries into one CSV.")
+    ap.add_argument("dirs", nargs="*",
+                    default=None,
+                    help="directories holding BENCH_*.json files "
+                         "(default: $SF_BENCH_OUT or .)")
+    ap.add_argument("-o", "--out", default=None,
+                    help="output CSV path (default: print to stdout)")
+    args = ap.parse_args()
+    dirs = args.dirs or [os.environ.get("SF_BENCH_OUT", ".")]
+
+    rows = list(load_summaries(dirs))
+    header = ["dir", "bench", "stamp", "metric", "value"]
+
+    if args.out:
+        with open(args.out, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(header)
+            w.writerows(rows)
+        print(f"wrote {args.out} ({len(rows)} metrics)")
+        return
+
+    w = csv.writer(sys.stdout)
+    w.writerow(header)
+    w.writerows(rows)
+    # Quick per-bench digest on stderr so piping the CSV stays clean.
+    benches = {}
+    for _, bench, stamp, _, _ in rows:
+        benches.setdefault(bench, set()).add(stamp)
+    for bench, stamps in sorted(benches.items()):
+        print(f"# {bench}: {len(stamps)} run(s)", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

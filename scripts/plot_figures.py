@@ -16,7 +16,15 @@ Family conventions:
   * fig10_*   — GFLOP/s vs cores (one line per method, linear axes);
   * serving_* — client-observed latency percentiles vs offered load
                 (bench/serving_throughput.cpp: p50 solid / p99 dashed, one
-                color per serving mode).
+                color per serving mode);
+  * telemetry_* — the sf::telemetry exporter family (SF_METRICS=1 runs):
+                `telemetry_hist-*` (long-form metric,bucket_lo,bucket_hi,
+                count from telemetry::write_reports — queue-depth and
+                batch-size log-bucket histograms as one bar panel per
+                metric), `telemetry_latency_*` (per-load-point p50/p99
+                pairs from bench/serving_throughput.cpp — solid/dashed line
+                per metric). telemetry_counters-*/telemetry_samples_* CSVs
+                are data dumps, not figures, and are skipped.
 
 Requires matplotlib; install it (`pip install matplotlib`) where you plot —
 the bench machines only need to produce the CSVs.
@@ -29,8 +37,9 @@ import re
 import sys
 
 # Matches the harness naming: <family>_<stencil>-<YYYYMMDD-HHMMSS>-p<pid>.csv
+# (telemetry::write_reports uses the same stamp, so its CSVs join the runs).
 FAMILY_RE = re.compile(
-    r"^(fig8|fig9|fig10|serving)_(.+)-(\d{8}-\d{6}-p\d+)\.csv$")
+    r"^(fig8|fig9|fig10|serving|telemetry)_(.+)-(\d{8}-\d{6}-p\d+)\.csv$")
 
 
 def parse_csv(path):
@@ -62,6 +71,83 @@ def numeric_columns(header, rows):
             yield header[c], vals
 
 
+def plot_telemetry(plt, name, stencil, header, rows, out_dir):
+    """Renders the sf::telemetry exporter CSVs. Histogram dumps
+    (metric,bucket_lo,bucket_hi,count) become one bar panel per metric;
+    latency sweeps (clients + *_p50_*/*_p99_* columns) become p50/p99 line
+    pairs. Counter/sample dumps have no figure shape and are skipped."""
+    if header[:4] == ["metric", "bucket_lo", "bucket_hi", "count"]:
+        metrics = []
+        for r in rows:
+            if r[0] not in metrics:
+                metrics.append(r[0])
+        if not metrics:
+            print(f"  skipping {name}: no histogram rows", file=sys.stderr)
+            return None
+        ncols = min(2, len(metrics))
+        nrows = (len(metrics) + ncols - 1) // ncols
+        fig, axes = plt.subplots(nrows, ncols,
+                                 figsize=(5.0 * ncols, 3.2 * nrows),
+                                 squeeze=False)
+        for i, metric in enumerate(metrics):
+            ax = axes[i // ncols][i % ncols]
+            mine = [r for r in rows if r[0] == metric]
+            labels = [f"{r[1]}–{r[2]}" for r in mine]
+            counts = [to_float(r[3]) or 0 for r in mine]
+            ax.bar(range(len(mine)), counts)
+            ax.set_xticks(range(len(mine)))
+            ax.set_xticklabels(labels, rotation=45, ha="right", fontsize=6)
+            ax.set_title(metric, fontsize=8)
+            ax.set_ylabel("count", fontsize=7)
+            ax.grid(True, axis="y", alpha=0.3)
+        for i in range(len(metrics), nrows * ncols):
+            axes[i // ncols][i % ncols].axis("off")
+        fig.suptitle("telemetry histograms (log2 buckets)")
+        fig.tight_layout()
+        out = os.path.join(out_dir, os.path.splitext(name)[0] + ".png")
+        fig.savefig(out, dpi=150)
+        plt.close(fig)
+        return out
+
+    # p50/p99 pairs over the first (x) column, e.g. telemetry_latency_*.
+    pairs = []
+    for h in header[1:]:
+        if "_p50" in h:
+            partner = h.replace("_p50", "_p99")
+            if partner in header:
+                pairs.append((h.split("_p50")[0], h, partner))
+    if not pairs:
+        print(f"  skipping {name}: no histogram or p50/p99 columns",
+              file=sys.stderr)
+        return None
+    cols = {h: i for i, h in enumerate(header)}
+    xs = [to_float(r[0]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    for label, p50, p99 in pairs:
+        color = None
+        for col, style, suffix in ((p50, "-", "p50"), (p99, "--", "p99")):
+            ys = [to_float(r[cols[col]]) if cols[col] < len(r) else None
+                  for r in rows]
+            pts = [(x, y) for x, y in zip(xs, ys)
+                   if x is not None and y is not None]
+            if not pts:
+                continue
+            line, = ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                            style, color=color, marker="o", markersize=3,
+                            label=f"{label} {suffix}")
+            color = line.get_color()
+    ax.set_xlabel(header[0])
+    ax.set_ylabel("ms / value")
+    ax.set_title(f"telemetry — {stencil}")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    out = os.path.join(out_dir, os.path.splitext(name)[0] + ".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    return out
+
+
 def plot_file(plt, path, out_dir):
     name = os.path.basename(path)
     m = FAMILY_RE.match(name)
@@ -72,6 +158,9 @@ def plot_file(plt, path, out_dir):
     if not header or not rows:
         print(f"  skipping {name}: empty table", file=sys.stderr)
         return None
+
+    if family == "telemetry":
+        return plot_telemetry(plt, name, stencil, header, rows, out_dir)
 
     fig, ax = plt.subplots(figsize=(6.4, 4.2))
     xlabels = [r[0] for r in rows]
@@ -187,8 +276,8 @@ def main():
                 made.append(out)
                 print(f"wrote {out}")
     if not made:
-        sys.exit(f"no fig8_*/fig9_*/fig10_*/serving_* CSVs found in "
-                 f"{args.dir} "
+        sys.exit(f"no fig8_*/fig9_*/fig10_*/serving_*/telemetry_* CSVs "
+                 f"found in {args.dir} "
                  "(run the bench harnesses with SF_BENCH_OUT set first)")
 
 

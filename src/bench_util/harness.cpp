@@ -96,6 +96,34 @@ const std::string& run_stamp() {
 
 }  // namespace
 
+void emit_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string dir = bench_out_dir();
+  if (dir.empty()) {
+    dir = ".";
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) dir = ".";
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream f(path);
+  f << "{\n  \"bench\": \"" << name << "\",\n  \"stamp\": \"" << run_stamp()
+    << "\",\n  \"metrics\": {";
+  char num[64];
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(num, sizeof(num), "%.6g", metrics[i].second);
+    f << (i ? "," : "") << "\n    \"" << metrics[i].first << "\": " << num;
+  }
+  f << "\n  }\n}\n";
+  f.flush();
+  if (f)
+    std::cout << "(json summary written to " << path << ")\n";
+  else
+    std::cerr << "(failed to write " << path << ")\n";
+}
+
 void emit(const Table& t, const std::string& name) {
   std::cout << t.str() << std::flush;
   std::string dir = bench_out_dir();

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
@@ -56,5 +57,16 @@ std::vector<long> size_sweep_1d(bool full);
 /// sweep's tables form one family and repeated sweeps never overwrite
 /// each other).
 void emit(const Table& t, const std::string& name);
+
+/// Machine-readable bench summary: writes $SF_BENCH_OUT/BENCH_<name>.json
+/// holding a flat metric->value map plus the run stamp. Unlike the
+/// stamped CSVs this path is *fixed*, so successive runs overwrite it and
+/// the latest numbers are always at a known location — the per-PR perf
+/// trajectory scripts/bench_summary.py merges across checkouts. Metric
+/// keys are dotted paths (e.g. "batched.c8.gflops"); values must be
+/// finite doubles.
+void emit_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace sf::bench

@@ -48,6 +48,15 @@
 ///    stage first sleeps its worker a pseudo-random 0..n microseconds
 ///    (runtime/worker_pool.hpp test_jitter_stall), forcing maximal stage
 ///    skew between neighbors. Unset/0 (the default) is a no-op.
+///  * `SF_METRICS=1`      — enable the telemetry counters/histograms
+///    (telemetry/telemetry.hpp). Unset/0 hands out dead no-op handles;
+///    resolution happens at construct/prepare time, never per operation.
+///  * `SF_TRACE=1`        — enable the scoped trace-span journal (bounded
+///    per-thread rings, chrome-trace JSON export).
+///  * `SF_TRACE_BUF=n`    — per-thread trace ring capacity in events
+///    (default 8192, floor 16; oldest events overwritten on wrap).
+///  * `SF_TELEMETRY_OUT=dir` — write the telemetry CSV/JSON artifact set
+///    into `dir` at process exit (telemetry::write_reports()).
 #pragma once
 
 #include <cstdlib>

@@ -15,6 +15,7 @@
 #include "grid/grid_utils.hpp"
 #include "kernels/kernels3d_impl.hpp"
 #include "layout/transpose_layout.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tiling/split_tiling.hpp"
 
 namespace sf {
@@ -955,9 +956,16 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
     for (const CacheEntry& e : cache_)
       if (matches(e) && tuner_fresh(e)) {
         ++hits_;
+        telemetry::counter("engine.plan_cache.hit").add(1);
         return PreparedStencil(e.state);
       }
   }
+  // Miss: a full plan + pool + workspace build — worth a trace span, and
+  // the counter pair the cache-effectiveness dashboards divide. Resolving
+  // the handle per call is fine here: prepare() is the documented cold
+  // path (serving pays it once per plan).
+  telemetry::counter("engine.plan_cache.miss").add(1);
+  telemetry::Span prepare_span("engine.prepare");
 
   auto st = std::make_shared<PreparedStencil::State>();
   st->spec = spec;
@@ -1056,14 +1064,21 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
     // tuner snapshot went stale (it can never be served again); a hard cap
     // bounds the cache against unbounded distinct-shape churn in
     // long-lived processes.
+    const std::size_t before = cache_.size();
     cache_.erase(std::remove_if(cache_.begin(), cache_.end(),
                                 [&](const CacheEntry& e) {
                                   return matches(e) || !tuner_fresh(e);
                                 }),
                  cache_.end());
     constexpr std::size_t kMaxEntries = 256;
-    if (cache_.size() >= kMaxEntries)
+    std::size_t evicted = before - cache_.size();
+    if (cache_.size() >= kMaxEntries) {
       cache_.erase(cache_.begin());  // oldest first
+      ++evicted;
+    }
+    if (evicted > 0)
+      telemetry::counter("engine.plan_cache.evictions")
+          .add(static_cast<std::int64_t>(evicted));
     cache_.push_back(std::move(entry));
   }
   return PreparedStencil(st);

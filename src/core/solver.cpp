@@ -12,6 +12,7 @@
 #include "core/tuner.hpp"
 #include "grid/grid_utils.hpp"
 #include "stencil/reference.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tiling/split_tiling.hpp"
 
 namespace sf {
@@ -318,10 +319,32 @@ void Solver::tune_pass(const P& p, G& a, G& b, const Pattern1D* src,
     else
       run_tile_plan(p, a, b, steps, cand);
   };
+  // Every probe measurement is logged (not just winners): the accumulated
+  // (geometry -> GFLOP/s) table is the training set the ROADMAP item-5
+  // performance model fits over. Dead no-op unless SF_METRICS is on.
+  const telemetry::SampleLog tune_log = telemetry::samples(
+      "tuner", {"kernel", "isa", "dims", "radius", "nx", "ny", "nz",
+                "probe_steps", "threads", "tile", "time_block", "seconds",
+                "gflops"});
   auto measure = [&](int tile_c, int tb_c, int thr_c) {
     Timer timer;
     probe(tile_c, tb_c, thr_c, probe_steps);
-    return timer.seconds();
+    const double sec = timer.seconds();
+    if (tune_log.live()) {
+      const double gflops = flops_per_step(cfg_.spec, cfg_.nx, cfg_.ny,
+                                           cfg_.nz) *
+                            probe_steps / sec / 1e9;
+      tune_log.append(
+          {selected_->name, isa_name(selected_->isa),
+           std::to_string(cfg_.spec.dims),
+           std::to_string(effective_radius(cfg_.spec)),
+           std::to_string(cfg_.nx), std::to_string(cfg_.ny),
+           std::to_string(cfg_.nz), std::to_string(probe_steps),
+           std::to_string(thr_c), std::to_string(tile_c),
+           std::to_string(tb_c), std::to_string(sec),
+           std::to_string(gflops)});
+    }
+    return sec;
   };
 
   // Axis 1: tile extents at their heuristic block heights. A taller block

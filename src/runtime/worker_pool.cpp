@@ -2,6 +2,11 @@
 
 #include <pthread.h>
 #include <sched.h>
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 #include <algorithm>
 #include <atomic>
@@ -46,6 +51,34 @@ thread_local const WorkerPool* tls_current_pool = nullptr;
 // NeighborSync
 // ---------------------------------------------------------------------------
 
+#if defined(__linux__)
+namespace {
+
+// The futex word is the Slot's 32-bit epoch atomic; the kernel compares
+// the raw cell against `expect`.
+static_assert(sizeof(std::atomic<unsigned>) == sizeof(unsigned),
+              "futex word must be the bare 32-bit cell");
+
+void futex_wait(const std::atomic<unsigned>* addr, unsigned expect) {
+  // Returns on wake, EAGAIN (word changed first) or spurious interrupt —
+  // all handled by the caller's re-check loop.
+  syscall(SYS_futex, reinterpret_cast<const void*>(addr), FUTEX_WAIT_PRIVATE,
+          expect, nullptr, nullptr, 0);
+}
+
+void futex_wake_all(const std::atomic<unsigned>* addr) {
+  syscall(SYS_futex, reinterpret_cast<const void*>(addr), FUTEX_WAKE_PRIVATE,
+          INT_MAX, nullptr, nullptr, 0);
+}
+
+}  // namespace
+#endif
+
+NeighborSync::NeighborSync()
+    : waits_(telemetry::counter("runtime.sync.waits")),
+      wait_ns_(telemetry::counter("runtime.sync.wait_ns")),
+      parks_(telemetry::counter("runtime.sync.parks")) {}
+
 void NeighborSync::reset(int workers) {
   if (workers > workers_) slots_.reset(new Slot[static_cast<std::size_t>(workers)]);
   workers_ = workers;
@@ -54,23 +87,62 @@ void NeighborSync::reset(int workers) {
 }
 
 void NeighborSync::publish(int w, long round) {
-  slots_[static_cast<std::size_t>(w)].seq.store(round,
-                                                std::memory_order_release);
+  Slot& s = slots_[static_cast<std::size_t>(w)];
+  // seq_cst (not just release) pairs with the waiter's registration in
+  // wait_for(): if the waiter's post-registration seq check missed this
+  // store, this thread is guaranteed to observe its `waiters` increment
+  // below and wake it (classic Dekker store/load on seq vs waiters).
+  s.seq.store(round, std::memory_order_seq_cst);
+#if defined(__linux__)
+  if (s.waiters.load(std::memory_order_seq_cst) != 0) {
+    s.epoch.fetch_add(1, std::memory_order_release);
+    futex_wake_all(&s.epoch);
+  }
+#endif
 }
 
 void NeighborSync::wait_for(int w, long round) const {
-  const std::atomic<long>& seq = slots_[static_cast<std::size_t>(w)].seq;
+  const Slot& s = slots_[static_cast<std::size_t>(w)];
+  if (s.seq.load(std::memory_order_acquire) >= round) return;  // fast path
+  const bool timed = wait_ns_.live();
+  const std::int64_t t0 = timed ? telemetry::now_ns() : 0;
   // Short spin first (the common case: the neighbor is at most one stage
-  // behind), then yield so oversubscribed pools donate CPU to the worker
+  // behind), then park so oversubscribed pools donate CPU to the worker
   // being waited on instead of starving it.
-  for (int spin = 0; spin < 1024; ++spin) {
-    if (seq.load(std::memory_order_acquire) >= round) return;
+  bool done = false;
+  for (int spin = 0; spin < 1024 && !done; ++spin) {
+    done = s.seq.load(std::memory_order_acquire) >= round;
 #if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
+    if (!done) __builtin_ia32_pause();
 #endif
   }
-  while (seq.load(std::memory_order_acquire) < round)
+  while (!done) {
+#if defined(__linux__)
+    // Park on the slot's epoch word. Ordering against publish(): register
+    // in `waiters` (seq_cst), then re-check seq (seq_cst). If the re-check
+    // still misses the publish, the publisher's later `waiters` load must
+    // observe the registration, so it bumps the epoch and wakes — and a
+    // bump between our epoch read and futex_wait makes the sleep return
+    // immediately rather than missing it.
+    const unsigned epoch = s.epoch.load(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_seq_cst) >= round) break;
+    s.waiters.fetch_add(1, std::memory_order_seq_cst);
+    if (s.seq.load(std::memory_order_seq_cst) >= round) {
+      s.waiters.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+    parks_.add(1);
+    futex_wait(&s.epoch, epoch);
+    s.waiters.fetch_sub(1, std::memory_order_relaxed);
+#else
     std::this_thread::yield();
+#endif
+    done = s.seq.load(std::memory_order_acquire) >= round;
+  }
+  if (timed) {
+    waits_.add(1);
+    wait_ns_.add(telemetry::now_ns() - t0);
+  }
 }
 
 void NeighborSync::abandon(int w) { publish(w, LONG_MAX); }
@@ -115,7 +187,12 @@ struct WorkerPool::Sync {
 };
 
 WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
-    : affinity_(affinity), sync_(new Sync) {
+    : affinity_(affinity),
+      sync_(new Sync),
+      t_dispatches_(telemetry::counter("runtime.pool.dispatches")),
+      t_tasks_(telemetry::counter("runtime.pool.tasks")),
+      t_busy_ns_(telemetry::counter("runtime.pool.busy_ns")),
+      t_task_us_(telemetry::histogram("runtime.pool.task_us")) {
   if (threads < 1) threads = 1;
   workers_.resize(static_cast<std::size_t>(threads));
 
@@ -151,11 +228,25 @@ WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
           seen = s.epoch;
           task = s.task;
         }
-        try {
-          (*task)(w);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(s.mu);
-          if (!s.first_error) s.first_error = std::current_exception();
+        {
+          // Per-worker task accounting: one span + one histogram record
+          // per pool *task* (a whole stage or pipelined schedule), never
+          // per cell — dead branches when telemetry is off.
+          const bool timed = t_busy_ns_.live();
+          const std::int64_t t0 = timed ? telemetry::now_ns() : 0;
+          telemetry::Span span("pool.task");
+          try {
+            (*task)(w);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            if (!s.first_error) s.first_error = std::current_exception();
+          }
+          if (timed) {
+            const std::int64_t dur = telemetry::now_ns() - t0;
+            t_tasks_.add(1);
+            t_busy_ns_.add(dur);
+            t_task_us_.record(dur / 1000);
+          }
         }
         {
           std::lock_guard<std::mutex> lock(s.mu);
@@ -177,6 +268,7 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::run_locked(const std::function<void(int)>& fn) {
   Sync& s = *sync_;
+  t_dispatches_.add(1);
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(s.mu);

@@ -34,6 +34,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "runtime/topology.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sf {
 
@@ -79,16 +80,22 @@ PlacementPlan balanced_placement(int ntiles, int workers, Affinity affinity);
 /// barrier used to provide, scoped down to one producer/consumer edge.
 class NeighborSync {
  public:
+  /// Resolves the telemetry counters (`runtime.sync.*`) against the
+  /// SF_METRICS state at construction time.
+  NeighborSync();
   /// Re-arms the counters for a task over `workers` workers (all zero).
   /// Must not race with publish/wait (the pool resets between tasks, under
   /// its task serialization).
   void reset(int workers);
-  /// Announces worker `w` has completed `round` (release; rounds must be
-  /// published in increasing order per worker).
+  /// Announces worker `w` has completed `round` (rounds must be published
+  /// in increasing order per worker; the store orders all prior writes
+  /// before the counter — and wakes any futex-parked waiter).
   void publish(int w, long round);
   /// Blocks until worker `w` has published at least `round` (acquire).
-  /// Spins briefly, then yields — oversubscribed pools make progress
-  /// because waiters donate their CPU to the workers they wait on.
+  /// Spins briefly with pause, then parks on a futex (Linux; portable
+  /// yield fallback elsewhere) so oversubscribed pools donate their CPU to
+  /// the worker being waited on instead of burning it. Wait/park activity
+  /// is recorded in the `runtime.sync.*` telemetry counters.
   void wait_for(int w, long round) const;
   /// Marks worker `w` as finished with every round it could ever publish
   /// (used on the exception path so neighbors waiting on a dead worker
@@ -100,9 +107,19 @@ class NeighborSync {
  private:
   struct alignas(64) Slot {  // one cache line per worker: no false sharing
     std::atomic<long> seq{0};
+    /// Futex generation word: bumped by publish() when `waiters` is
+    /// non-zero; a parked waiter sleeps on this 32-bit word, so a bump
+    /// between its epoch read and its futex_wait makes the sleep return
+    /// immediately instead of missing the wake.
+    mutable std::atomic<unsigned> epoch{0};
+    /// Number of threads inside the park protocol for this slot.
+    mutable std::atomic<int> waiters{0};
   };
   std::unique_ptr<Slot[]> slots_;
   int workers_ = 0;
+  telemetry::Counter waits_;    ///< runtime.sync.waits — slow-path entries.
+  telemetry::Counter wait_ns_;  ///< runtime.sync.wait_ns — total blocked ns.
+  telemetry::Counter parks_;    ///< runtime.sync.parks — futex sleeps.
 };
 
 /// Test-only fault injection for pipelined schedules: sleeps the calling
@@ -204,6 +221,14 @@ class WorkerPool {
   Affinity affinity_ = Affinity::None;
   std::unique_ptr<Sync> sync_;
   NeighborSync nsync_;  // reused per run_pipelined() task
+
+  // Telemetry handles (runtime.pool.*), resolved at pool construction —
+  // dead no-ops unless SF_METRICS was on when the pool was built.
+  telemetry::Counter t_dispatches_;  // tasks dispatched (one per run())
+  telemetry::Counter t_tasks_;       // per-worker task executions
+  telemetry::Counter t_busy_ns_;     // summed worker-task ns (utilization
+                                     // = busy_ns / (threads * wall))
+  telemetry::Histogram t_task_us_;   // per-worker task duration (us)
 };
 
 /// The process-wide pool for a (threads, affinity) configuration, built on

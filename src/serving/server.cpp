@@ -5,12 +5,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace sf {
 
@@ -143,6 +146,11 @@ struct Server::Impl {
   struct Tenant {
     std::unordered_set<std::uint64_t> plans;  // distinct plan keys seen
     int inflight = 0;
+    // Per-tenant admission outcome counters (serving.tenant.<name>.*),
+    // resolved on the tenant's first admission attempt. Dead unless the
+    // server itself was built with metrics on.
+    telemetry::Counter accepted;
+    telemetry::Counter rejected;
   };
   std::mutex tenant_mu;
   std::unordered_map<std::string, Tenant> tenants;
@@ -152,12 +160,37 @@ struct Server::Impl {
       n_rejected{0}, n_batches{0};
   std::atomic<int> max_batch{0};
 
+  // Telemetry handles (serving.*), resolved at Server construction.
+  telemetry::Counter t_submitted, t_accepted, t_completed, t_failed,
+      t_batches;
+  telemetry::Counter t_reject[6];  // indexed by static_cast<int>(Reject)
+  telemetry::Histogram t_queue_depth, t_batch_size, t_queue_us, t_exec_us;
+
   std::thread dispatcher;
 
-  explicit Impl(ServerOptions o) : opts(std::move(o)), ring(opts.queue_capacity) {}
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)),
+        ring(opts.queue_capacity),
+        t_submitted(telemetry::counter("serving.submitted")),
+        t_accepted(telemetry::counter("serving.accepted")),
+        t_completed(telemetry::counter("serving.completed")),
+        t_failed(telemetry::counter("serving.failed")),
+        t_batches(telemetry::counter("serving.batches")),
+        t_queue_depth(telemetry::histogram("serving.queue_depth")),
+        t_batch_size(telemetry::histogram("serving.batch_size")),
+        t_queue_us(telemetry::histogram("serving.queue_us")),
+        t_exec_us(telemetry::histogram("serving.exec_us")) {
+    for (Reject why :
+         {Reject::QueueFull, Reject::TenantPlans, Reject::TenantInflight,
+          Reject::ShuttingDown, Reject::BadRequest})
+      t_reject[static_cast<int>(why)] =
+          telemetry::counter(std::string("serving.reject.") +
+                             reject_name(why));
+  }
 
   std::future<ServeResult> reject(Reject why, const std::string& detail) {
     n_rejected.fetch_add(1, std::memory_order_relaxed);
+    t_reject[static_cast<int>(why)].add(1);
     std::promise<ServeResult> p;
     ServeResult r;
     r.rejected = why;
@@ -169,24 +202,37 @@ struct Server::Impl {
   /// Admission + enqueue shared by every submit() overload. Takes ownership
   /// of `req` (deletes it on rejection).
   std::future<ServeResult> admit(Request* req) {
+    telemetry::Span span("serve.submit");
     n_submitted.fetch_add(1, std::memory_order_relaxed);
+    t_submitted.add(1);
     std::future<ServeResult> fut = req->promise.get_future();
     if (!accepting.load(std::memory_order_acquire)) {
       delete req;
       return reject(Reject::ShuttingDown, "");
     }
+    telemetry::Counter tn_accepted, tn_rejected;
     {
       std::lock_guard<std::mutex> lock(tenant_mu);
       Tenant& t = tenants[req->tenant];
+      if (t_submitted.live() && !t.accepted.live()) {
+        t.accepted = telemetry::counter("serving.tenant." + req->tenant +
+                                        ".accepted");
+        t.rejected = telemetry::counter("serving.tenant." + req->tenant +
+                                        ".rejected");
+      }
+      tn_accepted = t.accepted;
+      tn_rejected = t.rejected;
       if (opts.tenant_max_plans > 0 && t.plans.count(req->plan) == 0 &&
           t.plans.size() >=
               static_cast<std::size_t>(opts.tenant_max_plans)) {
         delete req;
+        tn_rejected.add(1);
         return reject(Reject::TenantPlans, "");
       }
       if (opts.tenant_max_inflight > 0 &&
           t.inflight >= opts.tenant_max_inflight) {
         delete req;
+        tn_rejected.add(1);
         return reject(Reject::TenantInflight, "");
       }
       t.plans.insert(req->plan);
@@ -200,8 +246,11 @@ struct Server::Impl {
       // Backpressure: undo the accounting and report the full queue.
       settle_accounting(req->tenant);
       delete req;
+      tn_rejected.add(1);
       return reject(Reject::QueueFull, "");
     }
+    t_accepted.add(1);
+    tn_accepted.add(1);
     pending.fetch_add(1, std::memory_order_release);
     {
       // Empty critical section: orders the knock against a dispatcher that
@@ -226,10 +275,13 @@ struct Server::Impl {
 
   /// Fulfills one request's future and releases its accounting.
   void complete(Request* req, ServeResult r) {
-    if (r.error.empty())
+    if (r.error.empty()) {
       n_completed.fetch_add(1, std::memory_order_relaxed);
-    else
+      t_completed.add(1);
+    } else {
       n_failed.fetch_add(1, std::memory_order_relaxed);
+      t_failed.add(1);
+    }
     req->promise.set_value(r);
     settle_accounting(req->tenant);
     if (opts.on_complete) opts.on_complete(r);
@@ -239,6 +291,8 @@ struct Server::Impl {
   /// Executes one same-(plan, nsteps) group through a single batched
   /// dispatch and fulfills every member.
   void run_group(std::vector<Request*>& group) {
+    telemetry::Span span("serve.batch");
+    t_batch_size.record(static_cast<std::int64_t>(group.size()));
     const Clock::time_point t_dispatch = Clock::now();
     std::string error;
     try {
@@ -276,17 +330,24 @@ struct Server::Impl {
     }
     const double exec = seconds_between(t_dispatch, Clock::now());
     n_batches.fetch_add(1, std::memory_order_relaxed);
+    t_batches.add(1);
     int prev = max_batch.load(std::memory_order_relaxed);
     while (prev < static_cast<int>(group.size()) &&
            !max_batch.compare_exchange_weak(prev,
                                             static_cast<int>(group.size()))) {
     }
+    const bool latency_on = t_queue_us.live();
     for (Request* r : group) {
       ServeResult res;
       res.error = error;
       res.queue_seconds = seconds_between(r->submitted, t_dispatch);
       res.exec_seconds = exec;
       res.batch_size = static_cast<int>(group.size());
+      if (latency_on) {
+        t_queue_us.record(
+            static_cast<std::int64_t>(res.queue_seconds * 1e6));
+        t_exec_us.record(static_cast<std::int64_t>(exec * 1e6));
+      }
       complete(r, res);
     }
     group.clear();
@@ -306,6 +367,12 @@ struct Server::Impl {
           return stop.load(std::memory_order_acquire) ||
                  pending.load(std::memory_order_acquire) > 0;
         });
+      }
+      // Queue depth as the dispatcher observes it at wakeup — the signal
+      // the ROADMAP's adaptive-max_batch follow-on will feed on.
+      if (t_queue_depth.live()) {
+        const long depth = pending.load(std::memory_order_relaxed);
+        if (depth > 0) t_queue_depth.record(depth);
       }
       round.clear();
       while (static_cast<int>(round.size()) < opts.max_batch) {
@@ -334,7 +401,10 @@ struct Server::Impl {
         }
         g->push_back(r);
       }
-      for (auto& g : groups) run_group(g);
+      {
+        telemetry::Span round_span("serve.round");
+        for (auto& g : groups) run_group(g);
+      }
     }
   }
 };
@@ -410,6 +480,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
   }
   if (r == nullptr) {
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
   }
   r->dims = 1;
@@ -436,6 +507,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
   }
   if (r == nullptr) {
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
   }
   r->dims = 2;
@@ -461,6 +533,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
   }
   if (r == nullptr) {
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
+    impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
   }
   r->dims = 3;
@@ -472,6 +545,20 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
 void Server::drain() {
   std::unique_lock<std::mutex> lock(impl_->done_mu);
   impl_->done_cv.wait(lock, [&] { return impl_->inflight_total == 0; });
+}
+
+std::string Server::metrics() const {
+  const ServerStats s = stats();
+  std::ostringstream os;
+  os << "# sf::Server\n"
+     << "submitted " << s.submitted << "\n"
+     << "completed " << s.completed << "\n"
+     << "failed " << s.failed << "\n"
+     << "rejected " << s.rejected << "\n"
+     << "batches " << s.batches << "\n"
+     << "max_batch " << s.max_batch << "\n"
+     << telemetry::text_dump();
+  return os.str();
 }
 
 ServerStats Server::stats() const {

@@ -150,6 +150,13 @@ class Server {
   /// Lifetime counters (thread-safe snapshot).
   ServerStats stats() const;
 
+  /// Pull-style observability endpoint: the stats() counters followed by
+  /// the process-wide `telemetry::text_dump()` report (serving queue/batch
+  /// histograms, runtime and engine metrics — see docs/OBSERVABILITY.md).
+  /// Metrics sections are empty unless `SF_METRICS` was on when the server
+  /// (and the layers below it) were constructed.
+  std::string metrics() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

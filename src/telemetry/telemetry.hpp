@@ -1,0 +1,287 @@
+/// \file
+/// \brief sf::telemetry — low-overhead metrics, tracing and profiling hooks.
+///
+/// The subsystem has three pillars:
+///
+///  1. **Metrics** — lock-free sharded `Counter`s and log-bucketed
+///     `Histogram`s behind a process-wide registry of stable names.
+///     Writers touch a cache-line-padded per-thread shard with one relaxed
+///     atomic RMW; readers aggregate shards on demand via `snapshot()`.
+///     When `SF_METRICS` is unset (or "0") the registry hands out dead
+///     handles and every `add()`/`record()` is a branch-predicted no-op on
+///     a null pointer — enablement is resolved when the handle is acquired
+///     (object construction / first use of an instrumentation site), never
+///     per operation, and never inside kernel cell loops.
+///
+///  2. **Trace spans** — `Span` is an RAII scope that records a
+///     (name, start, duration, thread) event into a bounded per-thread
+///     ring buffer when `SF_TRACE` is set. The journal is exportable as
+///     chrome-trace JSON (`chrome_trace_json()`, load in `about:tracing`
+///     or Perfetto). Span names must be string literals (or otherwise
+///     outlive the process) — the journal stores the pointer.
+///
+///  3. **Exporters** — pull-style: `snapshot()` returns an aggregated
+///     struct, `text_dump()` a human-readable report, and
+///     `write_reports(dir)` the CSV/JSON artifact set
+///     (`telemetry_counters-*.csv`, `telemetry_hist-*.csv`,
+///     `telemetry_samples_*-*.csv`, `trace-*.json`). Setting
+///     `SF_TELEMETRY_OUT=dir` writes the same artifact set automatically
+///     at process exit. `Server::metrics()` surfaces `text_dump()` as a
+///     serving endpoint.
+///
+/// A fourth, smaller facility — `SampleLog` — appends fixed-column rows
+/// (e.g. one row per tuner measurement) for offline model fitting; see
+/// `samples()`.
+///
+/// docs/OBSERVABILITY.md lists every metric name, the span taxonomy and
+/// the exporter formats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::telemetry {
+
+namespace detail {
+struct CounterCells;    ///< Sharded counter storage (registry-owned).
+struct HistogramCells;  ///< Sharded histogram storage (registry-owned).
+struct SampleTable;     ///< Sample-log storage (registry-owned).
+/// Appends a completed span to the calling thread's trace ring.
+void record_span(const char* name, std::int64_t t0_ns, std::int64_t t1_ns);
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Enablement
+// ---------------------------------------------------------------------------
+
+/// True when `SF_METRICS` was truthy at the last `refresh_env()` (or first
+/// use). Handles acquired while disabled stay dead no-ops forever; callers
+/// resolve handles at construct/prepare time, so flipping the variable
+/// mid-process affects only objects constructed afterwards.
+bool metrics_enabled();
+
+/// True when `SF_TRACE` was truthy at the last `refresh_env()` (or first
+/// use). Unlike metrics handles, `Span` checks this at construction, so a
+/// refresh takes effect for all subsequently opened spans.
+bool trace_enabled();
+
+/// Re-reads `SF_METRICS` / `SF_TRACE` / `SF_TELEMETRY_OUT`. Test hook:
+/// production code reads the cached values resolved on first use.
+void refresh_env();
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter handle. Copyable, trivially destructible; a
+/// default-constructed (or disabled-registry) handle is a dead no-op.
+/// `add()` is one relaxed fetch_add on a cache-line-padded per-thread
+/// shard — safe from any thread, wait-free, exact on aggregation.
+class Counter {
+ public:
+  /// A dead handle (live() is false; add() is a no-op).
+  Counter() = default;
+  /// Adds `n` (may be negative for gauges-by-delta) to this thread's shard.
+  void add(std::int64_t n = 1) const;
+  /// True when backed by live registry storage (metrics were enabled when
+  /// the handle was acquired).
+  bool live() const { return cells_ != nullptr; }
+
+ private:
+  friend Counter counter(const std::string& name);
+  explicit Counter(detail::CounterCells* cells) : cells_(cells) {}
+  detail::CounterCells* cells_ = nullptr;
+};
+
+/// Registry lookup: returns the (process-wide) counter named `name`,
+/// creating it on first acquisition. Dead handle when metrics are
+/// disabled. Takes a registry mutex — acquire at construct/prepare time
+/// and keep the handle, not per increment.
+Counter counter(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets per histogram (covers the full non-negative
+/// int64 range; negative values clamp into bucket 0).
+constexpr int kHistogramBuckets = 64;
+
+/// Bucket index for value `v`: 0 for v <= 0, otherwise bit_width(v), so
+/// bucket b > 0 spans [2^(b-1), 2^b). Exposed for tests and exporters.
+int histogram_bucket(std::int64_t v);
+
+/// Inclusive lower bound of bucket `b` (0 for b == 0, else 2^(b-1);
+/// clamps to INT64_MAX for b >= kHistogramBuckets, the open top edge).
+std::int64_t histogram_bucket_lo(int b);
+
+/// Log-bucketed histogram handle (64 power-of-two buckets plus exact
+/// count/sum). Same sharding and no-op semantics as Counter.
+class Histogram {
+ public:
+  /// A dead handle (live() is false; record() is a no-op).
+  Histogram() = default;
+  /// Records one observation of `v` into this thread's shard.
+  void record(std::int64_t v) const;
+  /// True when backed by live registry storage.
+  bool live() const { return cells_ != nullptr; }
+
+ private:
+  friend Histogram histogram(const std::string& name);
+  explicit Histogram(detail::HistogramCells* cells) : cells_(cells) {}
+  detail::HistogramCells* cells_ = nullptr;
+};
+
+/// Registry lookup for histograms; same contract as `counter()`.
+Histogram histogram(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Sample logs (tuner measurements, model-fitting fodder)
+// ---------------------------------------------------------------------------
+
+/// Append-only fixed-column row log (mutex-guarded; for cold paths like
+/// tuner measurement, not per-request accounting). Rows surface in
+/// `snapshot()` and export as `telemetry_samples_<name>-<stamp>.csv`.
+class SampleLog {
+ public:
+  /// A dead handle (live() is false; append() is a no-op).
+  SampleLog() = default;
+  /// Appends one row; must have exactly as many entries as the log's
+  /// declared columns (mismatched rows are dropped).
+  void append(const std::vector<std::string>& row) const;
+  /// True when backed by live registry storage.
+  bool live() const { return table_ != nullptr; }
+
+ private:
+  friend SampleLog samples(const std::string& name,
+                           const std::vector<std::string>& columns);
+  explicit SampleLog(detail::SampleTable* table) : table_(table) {}
+  detail::SampleTable* table_ = nullptr;
+};
+
+/// Registry lookup for sample logs. `columns` fixes the schema on first
+/// acquisition (later acquisitions ignore it). Dead handle when metrics
+/// are disabled.
+SampleLog samples(const std::string& name,
+                  const std::vector<std::string>& columns);
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// Monotonic nanoseconds since an arbitrary per-process base (the trace
+/// timebase). Cheap enough for per-task timing; never called on disabled
+/// paths.
+std::int64_t now_ns();
+
+/// RAII trace scope: when `SF_TRACE` is on at construction, the
+/// destructor records a complete-event (name, start, duration, thread)
+/// into the calling thread's bounded ring buffer. `name` must be a
+/// string literal or otherwise outlive the process. ~25 ns when enabled,
+/// a single predicted branch when not.
+class Span {
+ public:
+  /// Opens the scope; samples the clock only when tracing is on.
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      t0_ = now_ns();
+    }
+  }
+  /// Closes the scope and records the event (when it was opened live).
+  ~Span() {
+    if (name_ != nullptr) detail::record_span(name_, t0_, now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t t0_ = 0;
+};
+
+/// Capacity (events) of each per-thread trace ring: `SF_TRACE_BUF`
+/// (default 8192, floor 16). Oldest events are overwritten on wrap.
+int trace_capacity();
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// One aggregated counter: shard-summed at snapshot time.
+struct CounterSample {
+  std::string name;    ///< Registry name.
+  std::int64_t value;  ///< Sum over all shards (exact).
+};
+
+/// One aggregated histogram.
+struct HistogramSample {
+  std::string name;                                     ///< Registry name.
+  std::int64_t count = 0;                               ///< Observations.
+  std::int64_t sum = 0;                                 ///< Exact value sum.
+  std::array<std::int64_t, kHistogramBuckets> buckets;  ///< Per-bucket counts.
+
+  /// Mean of the recorded values (exact: sum/count); 0 when empty.
+  double mean() const;
+  /// Percentile estimate (p in [0,100]) from the log buckets: linear
+  /// interpolation within the bucket holding the rank. Exact to within
+  /// one bucket width; 0 when empty.
+  double percentile(double p) const;
+};
+
+/// One exported sample log.
+struct SampleTableDump {
+  std::string name;                            ///< Registry name.
+  std::vector<std::string> columns;            ///< Fixed schema.
+  std::vector<std::vector<std::string>> rows;  ///< Appended rows, in order.
+};
+
+/// Point-in-time aggregation of every live metric. Cheap relative to the
+/// write path; intended for pull-style scraping, end-of-run reports and
+/// test assertions (deltas between two snapshots).
+struct Snapshot {
+  std::vector<CounterSample> counters;      ///< Sorted by name.
+  std::vector<HistogramSample> histograms;  ///< Sorted by name.
+  std::vector<SampleTableDump> samples;     ///< Sorted by name.
+
+  /// Value of the named counter, 0 when absent.
+  std::int64_t counter_value(const std::string& name) const;
+  /// Pointer to the named histogram, nullptr when absent.
+  const HistogramSample* find_histogram(const std::string& name) const;
+};
+
+/// Aggregates all registered metrics (shard sums, in-order sample rows).
+Snapshot snapshot();
+
+/// One completed trace event, in recording (not time) order per thread.
+struct TraceEvent {
+  const char* name;    ///< Span name (static storage).
+  std::int64_t t0_ns;  ///< Start, trace timebase.
+  std::int64_t dur_ns; ///< Duration.
+  int tid;             ///< Small per-process thread ordinal.
+};
+
+/// Copies out the surviving (un-overwritten) events of every thread ring,
+/// sorted by start time.
+std::vector<TraceEvent> trace_events();
+
+/// Chrome-trace ("trace event format") JSON array of complete events —
+/// load in about:tracing or https://ui.perfetto.dev.
+std::string chrome_trace_json();
+
+/// Human-readable report: counters, then histograms with count/mean/
+/// p50/p99, then sample-log row counts. The `Server::metrics()` payload.
+std::string text_dump();
+
+/// Writes the CSV/JSON artifact set into `dir` (created if missing,
+/// "" = working directory): `telemetry_counters-<stamp>.csv`,
+/// `telemetry_hist-<stamp>.csv` (long form: metric,bucket_lo,bucket_hi,
+/// count), one `telemetry_samples_<name>-<stamp>.csv` per sample log and
+/// `trace-<stamp>.json` when tracing captured events. The stamp matches
+/// the bench harness (`%Y%m%d-%H%M%S-p<pid>`), so scripts/plot_figures.py
+/// picks the histograms up as the `telemetry` family.
+void write_reports(const std::string& dir);
+
+}  // namespace sf::telemetry

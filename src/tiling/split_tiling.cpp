@@ -15,6 +15,7 @@
 #include "layout/transpose_layout.hpp"
 #include "simd/vecd.hpp"
 #include "stencil/reference.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sf {
 namespace {
@@ -132,6 +133,18 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
   const int ntiles = (w.n + w.tile - 1) / w.tile;
   const int nworkers = pool != nullptr ? pool->threads() : 1;
   const PlacementPlan place = balanced_placement(ntiles, nworkers, w.affinity);
+  // Schedule-shape telemetry, resolved once per process at the first tiled
+  // run (function-local statics: the wedge entry is too hot for a registry
+  // lookup per call). One add per *schedule*, never per tile or cell.
+  struct WedgeTelemetry {
+    telemetry::Counter pipelined_runs =
+        telemetry::counter("tiling.wedge.pipelined_runs");
+    telemetry::Counter barrier_runs =
+        telemetry::counter("tiling.wedge.barrier_runs");
+    telemetry::Counter blocks = telemetry::counter("tiling.wedge.blocks");
+  };
+  static const WedgeTelemetry wt;
+  const long nblocks = w.H > 0 ? (super_steps + w.H - 1) / w.H : 0;
   auto up_tile = [&](int kt, int hb, int cur, int wk) {
     const int x0 = kt * w.tile;
     const int x1 = std::min(w.n, x0 + w.tile);
@@ -151,6 +164,9 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
     }
   };
   if (pipelined_schedule(w, pool)) {
+    wt.pipelined_runs.add(1);
+    wt.blocks.add(nblocks);
+    telemetry::Span span("tiling.wedge.pipelined");
     pool->run_pipelined([&](int wk, NeighborSync& sync) {
       const auto [t0, t1] = place.tiles_of(wk);
       if (prologue) prologue(t0, t1, wk);
@@ -176,6 +192,9 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
       cursor = (cursor + std::min(w.H, super_steps - s0)) & 1;
     return cursor;
   }
+  wt.barrier_runs.add(1);
+  wt.blocks.add(nblocks);
+  telemetry::Span span("tiling.wedge.barrier");
   int cursor = 0;
   for (int s0 = 0; s0 < super_steps; s0 += w.H) {
     const int hb = std::min(w.H, super_steps - s0);

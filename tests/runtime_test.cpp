@@ -23,6 +23,7 @@
 #include "kernels/registry.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/worker_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tiling/split_tiling.hpp"
 
 namespace sf {
@@ -413,6 +414,91 @@ TEST(NeighborSync, AbandonUnblocksAnyFutureWait) {
   sync.wait_for(0, 1);
   sync.wait_for(0, 1000000);  // abandoned: every round reads as published
   t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime telemetry: sync wait/park counters and pool task accounting.
+// Handles resolve at construction, so each test enables SF_METRICS first
+// and builds fresh objects.
+// ---------------------------------------------------------------------------
+
+TEST(NeighborSyncTelemetry, LongWaitIsCountedAndParks) {
+  ASSERT_EQ(setenv("SF_METRICS", "1", 1), 0);
+  telemetry::refresh_env();
+  const telemetry::Snapshot before = telemetry::snapshot();
+  {
+    NeighborSync sync;
+    sync.reset(2);
+    std::thread waiter([&] { sync.wait_for(1, 5); });
+    // Long enough that the waiter exhausts its spin budget and parks
+    // before the publish arrives.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    sync.publish(1, 5);
+    waiter.join();
+  }
+  const telemetry::Snapshot after = telemetry::snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  EXPECT_GE(delta("runtime.sync.waits"), 1);
+  EXPECT_GT(delta("runtime.sync.wait_ns"), 0);
+#if defined(__linux__)
+  EXPECT_GE(delta("runtime.sync.parks"), 1);
+#endif
+  ASSERT_EQ(setenv("SF_METRICS", "0", 1), 0);
+  telemetry::refresh_env();
+}
+
+TEST(NeighborSyncTelemetry, PublishWakesEveryParkedWaiter) {
+  ASSERT_EQ(setenv("SF_METRICS", "1", 1), 0);
+  telemetry::refresh_env();
+  const telemetry::Snapshot before = telemetry::snapshot();
+  {
+    NeighborSync sync;
+    sync.reset(4);
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < 3; ++i)
+      waiters.emplace_back([&] { sync.wait_for(0, 1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    sync.publish(0, 1);  // one wake must release all parked waiters
+    for (auto& w : waiters) w.join();
+  }
+  const telemetry::Snapshot after = telemetry::snapshot();
+  EXPECT_GE(after.counter_value("runtime.sync.waits") -
+                before.counter_value("runtime.sync.waits"),
+            3);
+  ASSERT_EQ(setenv("SF_METRICS", "0", 1), 0);
+  telemetry::refresh_env();
+}
+
+TEST(WorkerPoolTelemetry, TaskCountersMatchDispatches) {
+  ASSERT_EQ(setenv("SF_METRICS", "1", 1), 0);
+  telemetry::refresh_env();
+  // Fresh direct-constructed pool: its runtime.pool.* handles resolve live
+  // (shared_pool could hand back a pool built before metrics were on).
+  WorkerPool pool(2, Affinity::None);
+  const telemetry::Snapshot before = telemetry::snapshot();
+  pool.run([](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  pool.run([](int) {});
+  const telemetry::Snapshot after = telemetry::snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  EXPECT_EQ(delta("runtime.pool.dispatches"), 2);
+  EXPECT_EQ(delta("runtime.pool.tasks"), 4);  // 2 workers x 2 dispatches
+  EXPECT_GT(delta("runtime.pool.busy_ns"), 0);
+  const telemetry::HistogramSample* h =
+      after.find_histogram("runtime.pool.task_us");
+  ASSERT_NE(h, nullptr);
+  std::int64_t hcount = h->count;
+  if (const telemetry::HistogramSample* b =
+          before.find_histogram("runtime.pool.task_us"))
+    hcount -= b->count;
+  EXPECT_EQ(hcount, 4);
+  ASSERT_EQ(setenv("SF_METRICS", "0", 1), 0);
+  telemetry::refresh_env();
 }
 
 TEST(WorkerPool, OnWorkerThreadIdentifiesOwnWorkersOnly) {

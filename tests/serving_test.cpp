@@ -11,6 +11,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -22,6 +23,7 @@
 #include "grid/grid_utils.hpp"
 #include "serving/server.hpp"
 #include "stencil/presets.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sf {
 namespace {
@@ -559,6 +561,101 @@ TEST(Server, DestructionDrainsInflightRequests) {
     EXPECT_TRUE(f.get().ok());
   }
   EXPECT_EQ(batch_diff(spec, nitems, seq, bat), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: serving counters must agree with observed request outcomes.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTelemetry, CountersMatchRequestOutcomes) {
+  // Metrics must be on *before* the Server is constructed: handles are
+  // resolved in the Impl constructor (construct-time enablement).
+  ::setenv("SF_METRICS", "1", 1);
+  telemetry::refresh_env();
+  const auto& heat2 = preset(Preset::Heat2D);
+  const auto& heat3 = preset(Preset::Heat3D);
+  PreparedStencil p2 = prepare_small(heat2);
+  PreparedStencil p3 = prepare_small(heat3);
+  const int ngood = 6;
+  ItemStore seq, bat;
+  make_items(heat2, p2, ngood, 4000, seq, bat);
+  ItemStore seq3, bat3;
+  make_items(heat3, p3, 1, 4100, seq3, bat3);
+
+  const telemetry::Snapshot before = telemetry::snapshot();
+  std::string metrics_page;
+  {
+    ServerOptions opts;
+    opts.tenant_max_plans = 1;
+    opts.max_batch = 16;
+    Server server(opts);
+    std::vector<std::future<ServeResult>> good;
+    for (int i = 0; i < ngood; ++i)
+      good.push_back(server.submit("telem-a", p2, bat.a2[i].view(),
+                                   bat.b2[i].view(), kSteps));
+    // One distinct-plan submission over the tenant budget...
+    auto rej_plan = server.submit("telem-a", p3, bat3.a3[0].view(),
+                                  bat3.b3[0].view(), kSteps);
+    EXPECT_EQ(rej_plan.get().rejected, Reject::TenantPlans);
+    // ...and one geometry mismatch.
+    Grid2D wrong_a(10, 10, p2.halo(), false), wrong_b(10, 10, p2.halo());
+    auto rej_bad =
+        server.submit("telem-a", p2, wrong_a.view(), wrong_b.view(), kSteps);
+    EXPECT_EQ(rej_bad.get().rejected, Reject::BadRequest);
+    server.drain();
+    for (auto& f : good) EXPECT_TRUE(f.get().ok());
+    metrics_page = server.metrics();
+  }
+  const telemetry::Snapshot after = telemetry::snapshot();
+  const auto delta = [&](const char* name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+
+  // Every submission — accepted or rejected — counts as submitted; only
+  // drained requests complete; each rejection lands in its reason counter
+  // and the tenant's rejected counter.
+  EXPECT_EQ(delta("serving.submitted"), ngood + 2);
+  EXPECT_EQ(delta("serving.accepted"), ngood);
+  EXPECT_EQ(delta("serving.completed"), ngood);
+  EXPECT_EQ(delta("serving.failed"), 0);
+  EXPECT_EQ(delta("serving.reject.tenant-plans"), 1);
+  EXPECT_EQ(delta("serving.reject.bad-request"), 1);
+  EXPECT_EQ(delta("serving.tenant.telem-a.accepted"), ngood);
+  // The bad-request rejection never reaches admission, so the tenant
+  // counter sees only the plan-budget one.
+  EXPECT_EQ(delta("serving.tenant.telem-a.rejected"), 1);
+
+  // The batch-size histogram observes one entry per batch and one unit of
+  // sum per completed request.
+  const telemetry::HistogramSample* batch_after =
+      after.find_histogram("serving.batch_size");
+  ASSERT_NE(batch_after, nullptr);
+  std::int64_t batch_count = batch_after->count, batch_sum = batch_after->sum;
+  if (const telemetry::HistogramSample* b =
+          before.find_histogram("serving.batch_size")) {
+    batch_count -= b->count;
+    batch_sum -= b->sum;
+  }
+  EXPECT_EQ(batch_sum, ngood);
+  EXPECT_EQ(batch_count, delta("serving.batches"));
+  EXPECT_GE(delta("serving.batches"), 1);
+
+  // Latency histograms saw every completed request.
+  const telemetry::HistogramSample* q =
+      after.find_histogram("serving.queue_us");
+  ASSERT_NE(q, nullptr);
+  std::int64_t q_count = q->count;
+  if (const telemetry::HistogramSample* b =
+          before.find_histogram("serving.queue_us"))
+    q_count -= b->count;
+  EXPECT_EQ(q_count, ngood);
+
+  // The metrics endpoint carries both the server stats and the registry.
+  EXPECT_NE(metrics_page.find("# sf::Server"), std::string::npos);
+  EXPECT_NE(metrics_page.find("serving.submitted"), std::string::npos);
+
+  ::setenv("SF_METRICS", "0", 1);
+  telemetry::refresh_env();
 }
 
 }  // namespace

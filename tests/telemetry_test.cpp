@@ -1,0 +1,250 @@
+// The telemetry subsystem: sharded counter exactness under concurrent
+// writers, log-bucket histogram edges and aggregation, the bounded
+// per-thread trace ring (wrap semantics), sample logs, exporters, and —
+// the production-critical property — disabled-mode handles being dead
+// no-ops that never create registry state.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace sf::telemetry {
+namespace {
+
+// Every test resolves its own enablement: the registry is process-global
+// and handles are resolved at acquisition, so each case sets the env it
+// needs and refreshes before acquiring.
+void metrics_on() {
+  ::setenv("SF_METRICS", "1", 1);
+  refresh_env();
+}
+void metrics_off() {
+  ::setenv("SF_METRICS", "0", 1);
+  refresh_env();
+}
+
+TEST(TelemetryCounter, DisabledHandlesAreDeadAndCreateNothing) {
+  metrics_off();
+  Counter c = counter("test.disabled.counter");
+  EXPECT_FALSE(c.live());
+  c.add(123);  // must be a no-op, not a crash
+  Histogram h = histogram("test.disabled.hist");
+  EXPECT_FALSE(h.live());
+  h.record(7);
+  SampleLog log = samples("test.disabled.samples", {"a", "b"});
+  EXPECT_FALSE(log.live());
+  log.append({"1", "2"});
+
+  // Disabled acquisition never materializes registry entries: re-enabling
+  // shows no trace of the names above.
+  metrics_on();
+  const Snapshot s = snapshot();
+  EXPECT_EQ(s.counter_value("test.disabled.counter"), 0);
+  EXPECT_EQ(s.find_histogram("test.disabled.hist"), nullptr);
+  for (const SampleTableDump& t : s.samples)
+    EXPECT_NE(t.name, "test.disabled.samples");
+}
+
+TEST(TelemetryCounter, ShardAggregationIsExactUnderConcurrentWriters) {
+  metrics_on();
+  Counter c = counter("test.concurrent.counter");
+  ASSERT_TRUE(c.live());
+  const std::int64_t before = snapshot().counter_value("test.concurrent.counter");
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kAddsEach = 100000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&c] {
+      for (std::int64_t i = 0; i < kAddsEach; ++i) c.add(1);
+    });
+  for (auto& t : writers) t.join();
+  // Relaxed per-shard adds lose nothing: the aggregate is exact once the
+  // writers joined.
+  EXPECT_EQ(snapshot().counter_value("test.concurrent.counter"),
+            before + kThreads * kAddsEach);
+}
+
+TEST(TelemetryCounter, SameNameResolvesToSameStorage) {
+  metrics_on();
+  Counter a = counter("test.shared.counter");
+  Counter b = counter("test.shared.counter");
+  const std::int64_t before = snapshot().counter_value("test.shared.counter");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(snapshot().counter_value("test.shared.counter"), before + 5);
+}
+
+TEST(TelemetryHistogram, BucketEdges) {
+  // Bucket 0 holds v <= 0; bucket b > 0 spans [2^(b-1), 2^b).
+  EXPECT_EQ(histogram_bucket(-5), 0);
+  EXPECT_EQ(histogram_bucket(0), 0);
+  EXPECT_EQ(histogram_bucket(1), 1);
+  EXPECT_EQ(histogram_bucket(2), 2);
+  EXPECT_EQ(histogram_bucket(3), 2);
+  EXPECT_EQ(histogram_bucket(4), 3);
+  for (int k = 1; k < 62; ++k) {
+    const std::int64_t p = static_cast<std::int64_t>(1) << k;
+    EXPECT_EQ(histogram_bucket(p), k + 1) << "at 2^" << k;
+    EXPECT_EQ(histogram_bucket(p - 1), k) << "below 2^" << k;
+    EXPECT_EQ(histogram_bucket(p + 1), k + 1) << "above 2^" << k;
+  }
+  EXPECT_EQ(histogram_bucket_lo(0), 0);
+  EXPECT_EQ(histogram_bucket_lo(1), 1);
+  EXPECT_EQ(histogram_bucket_lo(5), 16);
+  // The virtual top edge clamps instead of shifting into the sign bit.
+  EXPECT_GT(histogram_bucket_lo(kHistogramBuckets), 0);
+}
+
+TEST(TelemetryHistogram, RecordsLandInTheirBuckets) {
+  metrics_on();
+  Histogram h = histogram("test.buckets.hist");
+  ASSERT_TRUE(h.live());
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(100);  // bucket 7 ([64, 128))
+  const Snapshot snap = snapshot();
+  const HistogramSample* s = snap.find_histogram("test.buckets.hist");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 5);
+  EXPECT_EQ(s->sum, 106);
+  EXPECT_EQ(s->buckets[0], 1);
+  EXPECT_EQ(s->buckets[1], 1);
+  EXPECT_EQ(s->buckets[2], 2);
+  EXPECT_EQ(s->buckets[7], 1);
+  EXPECT_DOUBLE_EQ(s->mean(), 106.0 / 5.0);
+}
+
+TEST(TelemetryHistogram, CountAndSumExactUnderConcurrentWriters) {
+  metrics_on();
+  Histogram h = histogram("test.concurrent.hist");
+  ASSERT_TRUE(h.live());
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kEach = 50000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&h, t] {
+      for (std::int64_t i = 0; i < kEach; ++i) h.record(t + 1);
+    });
+  for (auto& t : writers) t.join();
+  const Snapshot snap = snapshot();
+  const HistogramSample* s = snap.find_histogram("test.concurrent.hist");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, kThreads * kEach);
+  // sum = kEach * (1 + 2 + ... + kThreads)
+  EXPECT_EQ(s->sum, kEach * kThreads * (kThreads + 1) / 2);
+  std::int64_t bucket_total = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) bucket_total += s->buckets[b];
+  EXPECT_EQ(bucket_total, s->count);
+}
+
+TEST(TelemetryHistogram, PercentileWithinBucketBounds) {
+  metrics_on();
+  Histogram h = histogram("test.pct.hist");
+  ASSERT_TRUE(h.live());
+  for (int i = 0; i < 90; ++i) h.record(10);    // bucket [8, 16)
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket [512, 1024)
+  const Snapshot snap = snapshot();
+  const HistogramSample* s = snap.find_histogram("test.pct.hist");
+  ASSERT_NE(s, nullptr);
+  const double p50 = s->percentile(50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  const double p99 = s->percentile(99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(s->percentile(0), s->percentile(100));
+}
+
+TEST(TelemetrySamples, RowsSurviveRoundTrip) {
+  metrics_on();
+  SampleLog log = samples("test.samples", {"x", "y"});
+  ASSERT_TRUE(log.live());
+  log.append({"1", "2"});
+  log.append({"3", "4"});
+  log.append({"only-one-column"});  // schema mismatch: dropped
+  const Snapshot s = snapshot();
+  const SampleTableDump* mine = nullptr;
+  for (const SampleTableDump& t : s.samples)
+    if (t.name == "test.samples") mine = &t;
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->columns, (std::vector<std::string>{"x", "y"}));
+  ASSERT_GE(mine->rows.size(), 2u);
+  EXPECT_EQ(mine->rows[0], (std::vector<std::string>{"1", "2"}));
+  for (const auto& row : mine->rows) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(TelemetryTrace, DisabledSpansRecordNothing) {
+  ::setenv("SF_TRACE", "0", 1);
+  refresh_env();
+  const std::size_t before = trace_events().size();
+  { Span s("test.disabled.span"); }
+  EXPECT_EQ(trace_events().size(), before);
+}
+
+TEST(TelemetryTrace, RingBufferWrapsKeepingNewestEvents) {
+  ::setenv("SF_TRACE", "1", 1);
+  refresh_env();
+  // A fresh thread gets a fresh ring (capacity resolved at first span), so
+  // the wrap test is deterministic regardless of prior spans in this
+  // process.
+  const int cap = trace_capacity();
+  std::thread([cap] {
+    for (int i = 0; i < cap + 50; ++i) Span span("test.wrap.old");
+    for (int i = 0; i < 10; ++i) Span span("test.wrap.new");
+  }).join();
+  int old_seen = 0, new_seen = 0;
+  for (const TraceEvent& e : trace_events()) {
+    if (std::string(e.name) == "test.wrap.old") ++old_seen;
+    if (std::string(e.name) == "test.wrap.new") ++new_seen;
+  }
+  // The ring is bounded: of cap+60 recorded events at most cap survive,
+  // and the 10 newest are always among them.
+  EXPECT_EQ(new_seen, 10);
+  EXPECT_LE(old_seen + new_seen, cap);
+  EXPECT_GE(old_seen + new_seen, cap > 60 ? cap - 60 : 1);
+  ::setenv("SF_TRACE", "0", 1);
+  refresh_env();
+}
+
+TEST(TelemetryTrace, SpansCarryDurationAndOrdering) {
+  ::setenv("SF_TRACE", "1", 1);
+  refresh_env();
+  std::thread([] {
+    Span outer("test.order.outer");
+    { Span inner("test.order.inner"); }
+  }).join();
+  const std::vector<TraceEvent> events = trace_events();
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "test.order.outer") outer = &e;
+    if (std::string(e.name) == "test.order.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->dur_ns, inner->dur_ns);  // inner nests inside outer
+  EXPECT_LE(outer->t0_ns, inner->t0_ns);
+  EXPECT_GE(inner->dur_ns, 0);
+  ::setenv("SF_TRACE", "0", 1);
+  refresh_env();
+}
+
+TEST(TelemetryExporters, TextDumpAndChromeTraceWellFormed) {
+  metrics_on();
+  counter("test.export.counter").add(42);
+  const std::string text = text_dump();
+  EXPECT_NE(text.find("test.export.counter"), std::string::npos);
+  const std::string json = chrome_trace_json();
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after array
+}
+
+}  // namespace
+}  // namespace sf::telemetry
