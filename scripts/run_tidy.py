@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy runner for stencilfold.
+
+    python3 scripts/run_tidy.py [--build-dir build] [--changed] [-j N]
+                                [--update-baseline] [--baseline FILE]
+
+Runs clang-tidy (configuration: the repo-root .clang-tidy) over the
+library translation units listed in the build directory's
+compile_commands.json (src/ only — tests and benches are gtest/harness
+macro soup that drowns the signal), in parallel, and compares the findings
+against scripts/tidy_baseline.txt:
+
+  * a finding whose fingerprint is in the baseline is reported as "known"
+    and does not fail the run — pre-existing debt stays visible but does
+    not block unrelated PRs;
+  * a finding NOT in the baseline fails the run (exit 1) — new code must
+    be tidy-clean;
+  * --update-baseline rewrites the baseline from the current findings
+    (do this in the same PR that consciously accepts a new finding).
+
+Fingerprints are `relpath:check:message` — deliberately line-number-free so
+unrelated edits above a known finding don't churn the baseline.
+
+Bootstrap: while the baseline file contains no fingerprints (fresh clone,
+comment-only file), the run records what it finds, prints it, and exits 0 —
+seed the gate by committing the output of --update-baseline once a
+clang-tidy version has been fixed in CI. See docs/STATIC_ANALYSIS.md.
+
+--changed lints only TUs touched vs. the merge base (origin/main by
+default, override with --since REF) — the fast local loop. The baseline
+gate applies identically.
+
+Exit status: 0 = no new findings, 1 = new findings, 2 = environment error
+(no clang-tidy, no compile_commands.json).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*?) \[(?P<check>[^\]]+)\]\s*$")
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        print(f"run_tidy: {path} not found — configure with "
+              f"`cmake -B {build_dir} -S .` first "
+              f"(CMAKE_EXPORT_COMPILE_COMMANDS is on by default).",
+              file=sys.stderr)
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def library_tus(commands):
+    """src/ translation units from compile_commands, deduplicated."""
+    seen = set()
+    out = []
+    for entry in commands:
+        src = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(src, REPO_ROOT)
+        if rel.startswith("src" + os.sep) and src not in seen:
+            seen.add(src)
+            out.append(src)
+    return sorted(out)
+
+
+def changed_files(since):
+    base = subprocess.run(
+        ["git", "merge-base", since, "HEAD"], cwd=REPO_ROOT,
+        capture_output=True, text=True)
+    ref = base.stdout.strip() if base.returncode == 0 else since
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"], cwd=REPO_ROOT,
+        capture_output=True, text=True)
+    if diff.returncode != 0:
+        print(f"run_tidy: git diff against {since} failed; "
+              f"linting every TU instead.", file=sys.stderr)
+        return None
+    return {os.path.normpath(os.path.join(REPO_ROOT, p))
+            for p in diff.stdout.splitlines() if p}
+
+
+def fingerprint(path, check, msg):
+    rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+    return f"{rel}:{check}:{msg}"
+
+
+def run_one(tidy, build_dir, tu):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", tu],
+        capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        findings.append({
+            "where": f"{os.path.relpath(m.group('path'), REPO_ROOT)}:"
+                     f"{m.group('line')}:{m.group('col')}",
+            "check": m.group("check"),
+            "msg": m.group("msg"),
+            "fp": fingerprint(m.group("path"), m.group("check"),
+                              m.group("msg")),
+        })
+    # clang-tidy exits non-zero on compile errors even with no findings;
+    # surface those loudly instead of silently passing an unanalyzed TU.
+    hard_error = proc.returncode != 0 and not findings
+    return tu, findings, hard_error, proc.stderr if hard_error else ""
+
+
+def read_baseline(path):
+    if not os.path.exists(path):
+        return None
+    fps = set()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                fps.add(line)
+    return fps
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy baseline: one fingerprint "
+                "(relpath:check:message) per line.\n"
+                "# Regenerate with: python3 scripts/run_tidy.py "
+                "--update-baseline\n"
+                "# A finding listed here is known debt; findings not listed "
+                "fail CI.\n")
+        for fp in sorted({f["fp"] for f in findings}):
+            f.write(fp + "\n")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--baseline",
+                        default=os.path.join(REPO_ROOT, "scripts",
+                                             "tidy_baseline.txt"))
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only TUs changed vs. --since")
+    parser.add_argument("--since", default="origin/main")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 4)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy executable (default: first of "
+                             "$CLANG_TIDY, clang-tidy on PATH)")
+    args = parser.parse_args(argv)
+
+    tidy = (args.clang_tidy or os.environ.get("CLANG_TIDY")
+            or shutil.which("clang-tidy"))
+    if not tidy or not shutil.which(tidy):
+        print("run_tidy: clang-tidy not found (install it or set "
+              "$CLANG_TIDY).", file=sys.stderr)
+        return 2
+
+    commands = load_compile_commands(args.build_dir)
+    if commands is None:
+        return 2
+    tus = library_tus(commands)
+    if args.changed:
+        touched = changed_files(args.since)
+        if touched is not None:
+            tus = [t for t in tus if t in touched]
+            if not tus:
+                print("run_tidy: no changed src/ TUs — nothing to lint.")
+                return 0
+
+    print(f"run_tidy: {len(tus)} TU(s), {args.jobs} job(s), "
+          f"config .clang-tidy")
+    findings = []
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for tu, found, hard, err in pool.map(
+                lambda t: run_one(tidy, args.build_dir, t), tus):
+            findings.extend(found)
+            if hard:
+                hard_errors.append((tu, err))
+
+    for tu, err in hard_errors:
+        rel = os.path.relpath(tu, REPO_ROOT)
+        print(f"run_tidy: clang-tidy failed on {rel}:\n{err}",
+              file=sys.stderr)
+    if hard_errors:
+        return 2
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"run_tidy: wrote {len({f['fp'] for f in findings})} "
+              f"fingerprint(s) to {os.path.relpath(args.baseline, REPO_ROOT)}")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    bootstrap = not baseline  # missing file or comments-only
+    known = [f for f in findings if baseline and f["fp"] in baseline]
+    new = [f for f in findings if not (baseline and f["fp"] in baseline)]
+
+    for f in known:
+        print(f"known   {f['where']}: {f['msg']} [{f['check']}]")
+    for f in new:
+        print(f"NEW     {f['where']}: {f['msg']} [{f['check']}]")
+
+    if bootstrap:
+        print(f"run_tidy: baseline unseeded — recorded {len(new)} "
+              f"finding(s) without failing. Seed the gate with "
+              f"--update-baseline.")
+        return 0
+    if new:
+        print(f"run_tidy: {len(new)} new finding(s) not in baseline "
+              f"({len(known)} known).", file=sys.stderr)
+        return 1
+    print(f"run_tidy: clean ({len(known)} known baseline finding(s)).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

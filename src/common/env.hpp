@@ -111,6 +111,12 @@ inline int pool_cache_cap() {
   return cap < 1 ? 1 : static_cast<int>(cap);
 }
 
+/// SF_TEST_JITTER: max per-stage fault-injection stall in microseconds
+/// (unset/0 = disabled). Deliberately re-read per call — the stress tests
+/// setenv/unsetenv around individual cases, so a cached parse would go
+/// stale (runtime/worker_pool.hpp test_jitter_stall).
+inline long test_jitter_us() { return env_long("SF_TEST_JITTER", 0); }
+
 /// SF_VALIDATE: false only when the variable is set to exactly "0" — the
 /// debug-only escape hatch that drops per-call view validation.
 inline bool env_validate() {

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace sf {
+
+// Annotated drop-in for std::mutex. libstdc++'s std::mutex carries no
+// capability attributes, so Clang's thread-safety analysis cannot reason
+// about it; this zero-overhead wrapper adds them. Use with sf::LockGuard
+// (scoped) or sf::UniqueLock (when a CondVar wait or early unlock is
+// needed). `native()` exposes the underlying std::mutex for interop and
+// deliberately sits outside the analysis.
+class SF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SF_ACQUIRE() { mu_.lock(); }
+  void unlock() SF_RELEASE() { mu_.unlock(); }
+  bool try_lock() SF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Escape hatch for std::condition_variable interop; accesses through
+  // the raw mutex are invisible to the analysis.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock for sf::Mutex; equivalent of std::lock_guard.
+class SF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() SF_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Movable/unlockable RAII lock for sf::Mutex, for CondVar waits and
+// scopes that drop the lock early; equivalent of std::unique_lock.
+class SF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) SF_ACQUIRE(mu)
+      : mu_(&mu), lock_(mu.native()) {}
+  // Body (not `= default`) so the release annotation sits on an ordinary
+  // definition; the std::unique_lock member unlocks iff still owned.
+  ~UniqueLock() SF_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() SF_ACQUIRE() { lock_.lock(); }
+  void unlock() SF_RELEASE() { lock_.unlock(); }
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable paired with sf::Mutex via UniqueLock. wait() is not
+// annotated: the analysis only checks lock state at function boundaries,
+// and the lock is held both entering and leaving a wait, which is exactly
+// the guarantee guarded members rely on. Callers must re-test their
+// predicate in a loop around wait() — with guarded state the predicate
+// reads live in the caller's scope where the analysis can see them, not
+// in a lambda (Clang analyzes lambdas as separate unlocked functions).
+class CondVar {
+ public:
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.native(), d);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sf

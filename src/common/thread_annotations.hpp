@@ -1,0 +1,54 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang's capability-analysis attributes when compiling
+// with a Clang that supports them and to nothing elsewhere (GCC, MSVC),
+// so annotated code builds identically on every toolchain while the
+// static-analysis CI job (`clang++ -Wthread-safety -Werror=thread-safety`,
+// see docs/STATIC_ANALYSIS.md) proves at compile time that every access
+// to a guarded member happens under its mutex.
+//
+// The project-facing vocabulary, applied to sf::Mutex (common/mutex.hpp)
+// and the structures it guards:
+//
+//   SF_CAPABILITY(x)        class is a capability (a lock) named `x`
+//   SF_SCOPED_CAPABILITY    RAII class that acquires/releases a capability
+//   SF_GUARDED_BY(mu)       data member readable/writable only under `mu`
+//   SF_PT_GUARDED_BY(mu)    pointee (not the pointer) guarded by `mu`
+//   SF_REQUIRES(mu)         function must be called with `mu` held
+//   SF_ACQUIRE(mu)          function acquires `mu` (and returns holding it)
+//   SF_RELEASE(mu)          function releases `mu`
+//   SF_TRY_ACQUIRE(b, mu)   try-lock; acquires `mu` iff it returns `b`
+//   SF_EXCLUDES(mu)         function must NOT be called with `mu` held
+//   SF_ASSERT_CAPABILITY(mu) runtime assertion that `mu` is held
+//   SF_RETURN_CAPABILITY(mu) function returns a reference to `mu`
+//   SF_NO_THREAD_SAFETY_ANALYSIS  opt a function out (document why!)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef SF_THREAD_ANNOTATION
+#define SF_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+#define SF_CAPABILITY(x) SF_THREAD_ANNOTATION(capability(x))
+#define SF_SCOPED_CAPABILITY SF_THREAD_ANNOTATION(scoped_lockable)
+#define SF_GUARDED_BY(x) SF_THREAD_ANNOTATION(guarded_by(x))
+#define SF_PT_GUARDED_BY(x) SF_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SF_REQUIRES(...) \
+  SF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SF_ACQUIRE(...) \
+  SF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SF_RELEASE(...) \
+  SF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SF_TRY_ACQUIRE(...) \
+  SF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SF_EXCLUDES(...) SF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SF_ASSERT_CAPABILITY(x) SF_THREAD_ANNOTATION(assert_capability(x))
+#define SF_RETURN_CAPABILITY(x) SF_THREAD_ANNOTATION(lock_returned(x))
+#define SF_NO_THREAD_SAFETY_ANALYSIS \
+  SF_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -952,7 +952,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
            TuneCache::instance().lookup_rounded(e.tune_key) == e.tune_seen;
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const CacheEntry& e : cache_)
       if (matches(e) && tuner_fresh(e)) {
         ++hits_;
@@ -1059,7 +1059,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   }
   entry.state = st;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     // Evict the same-request entry being superseded and any entry whose
     // tuner snapshot went stale (it can never be served again); a hard cap
     // bounds the cache against unbounded distinct-shape churn in
@@ -1097,8 +1097,10 @@ PreparedStencil Engine::prepare_shared(const StencilSpec& spec, Extents ext,
   // returning the identical State). Distinct keys never wait on each other.
   const std::uint64_t key = plan_key(spec, ext, opts);
   {
-    std::unique_lock<std::mutex> lock(share_mu_);
-    share_cv_.wait(lock, [&] { return building_.count(key) == 0; });
+    UniqueLock lock(share_mu_);
+    // Explicit loop so the guarded building_ reads are visibly under the
+    // lock to the thread-safety analysis.
+    while (building_.count(key) != 0) share_cv_.wait(lock);
     building_.insert(key);
   }
   struct Claim {  // release the key and wake waiters even on throw
@@ -1106,7 +1108,7 @@ PreparedStencil Engine::prepare_shared(const StencilSpec& spec, Extents ext,
     std::uint64_t key;
     ~Claim() {
       {
-        std::lock_guard<std::mutex> lock(e->share_mu_);
+        LockGuard lock(e->share_mu_);
         e->building_.erase(key);
       }
       e->share_cv_.notify_all();
@@ -1124,12 +1126,12 @@ std::uint64_t Engine::plan_key(const StencilSpec& spec, Extents ext,
 }
 
 std::size_t Engine::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return cache_.size();
 }
 
 long Engine::plan_cache_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return hits_;
 }
 

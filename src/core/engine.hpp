@@ -31,13 +31,13 @@
 /// its grids and drives this layer underneath.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/execution_plan.hpp"
 #include "grid/grid.hpp"
 #include "kernels/registry.hpp"
@@ -321,14 +321,14 @@ class Engine {
 
   struct CacheEntry;
 
-  mutable std::mutex mu_;
-  std::vector<CacheEntry> cache_;
-  long hits_ = 0;
+  mutable Mutex mu_;
+  std::vector<CacheEntry> cache_ SF_GUARDED_BY(mu_);
+  long hits_ SF_GUARDED_BY(mu_) = 0;
 
   // prepare_shared() build coalescing: plan keys currently being built.
-  std::mutex share_mu_;
-  std::condition_variable share_cv_;
-  std::unordered_set<std::uint64_t> building_;
+  Mutex share_mu_;
+  CondVar share_cv_;
+  std::unordered_set<std::uint64_t> building_ SF_GUARDED_BY(share_mu_);
 };
 
 /// Transforms `v`'s buffer in place into `ps`'s preferred resident layout

@@ -93,8 +93,14 @@ TuneKey bucketed_key(const TuneKey& k) {
 TuneCache& TuneCache::instance() {
   static TuneCache* cache = [] {
     auto* c = new TuneCache();
-    c->persist_path_ = tune_cache_path();
-    if (!c->persist_path_.empty()) c->load_file(c->persist_path_);
+    const std::string path = tune_cache_path();
+    {
+      // Uncontended (the singleton is not shared until this lambda
+      // returns); taken for the thread-safety analysis.
+      LockGuard lock(c->mu_);
+      c->persist_path_ = path;
+    }
+    if (!path.empty()) c->load_file(path);
     return c;
   }();
   return *cache;
@@ -108,13 +114,13 @@ std::optional<TunedGeometry> TuneCache::lookup_locked(
 }
 
 std::optional<TunedGeometry> TuneCache::lookup(const TuneKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return lookup_locked(key);
 }
 
 std::optional<TunedGeometry> TuneCache::lookup_rounded(
     const TuneKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (auto exact = lookup_locked(key)) return exact;
   const TuneKey want = bucketed_key(key);
   for (const auto& e : entries_)
@@ -123,7 +129,7 @@ std::optional<TunedGeometry> TuneCache::lookup_rounded(
 }
 
 void TuneCache::store(const TuneKey& key, const TunedGeometry& g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   ++stores_;
   bool replaced = false;
   for (auto& e : entries_)
@@ -142,17 +148,17 @@ void TuneCache::store(const TuneKey& key, const TunedGeometry& g) {
 }
 
 long TuneCache::stored_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return stores_;
 }
 
 std::size_t TuneCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return entries_.size();
 }
 
 void TuneCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   entries_.clear();
 }
 
@@ -161,7 +167,7 @@ std::size_t TuneCache::load_file(const std::string& path) {
   if (!in) return 0;
   std::size_t loaded = 0;
   std::string line;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     TuneKey k;
@@ -186,7 +192,7 @@ bool TuneCache::save_file(const std::string& path) const {
   out << "# stencilfold tuning cache: " << kFormatTag
       << " kernel isa dims radius nx ny nz tsteps threads tile time_block"
          " tuned_threads\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const auto& e : entries_) out << to_line(e.first, e.second) << '\n';
   return static_cast<bool>(out);
 }

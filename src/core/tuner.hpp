@@ -17,13 +17,14 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/cpu.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "kernels/registry.hpp"
 
 namespace sf {
@@ -133,12 +134,15 @@ class TuneCache {
   TuneCache() = default;
 
  private:
-  std::optional<TunedGeometry> lookup_locked(const TuneKey& key) const;
+  std::optional<TunedGeometry> lookup_locked(const TuneKey& key) const
+      SF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<TuneKey, TunedGeometry>> entries_;
-  std::string persist_path_;  // "" = in-process only
-  long stores_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::pair<TuneKey, TunedGeometry>> entries_ SF_GUARDED_BY(mu_);
+  // "" = in-process only. Written once by instance() before the singleton
+  // is shared (construction-time), read under mu_ afterwards.
+  std::string persist_path_ SF_GUARDED_BY(mu_);
+  long stores_ SF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sf

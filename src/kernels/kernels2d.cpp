@@ -179,7 +179,6 @@ template <int W>
 void run_dlt2d(const Pattern2D& p, const FieldView2D& a, const FieldView2D& b, int tsteps) {
   const int nx = a.nx(), ny = a.ny();
   const int L = nx / W;
-  const int n0 = L * W;
   const int r = p.radius();
   if (L < 2 * r + 1) {
     run_naive2d(p, a, b, tsteps);

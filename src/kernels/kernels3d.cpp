@@ -176,9 +176,8 @@ void step_planes_dlt3d(const Pattern3D& p, const FieldView3D& in, const FieldVie
 
 template <int W>
 void run_dlt3d(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b, int tsteps) {
-  const int nz = a.nz(), ny = a.ny(), nx = a.nx();
+  const int nz = a.nz(), nx = a.nx();
   const int L = nx / W;
-  const int n0 = L * W;
   const int r = p.radius();
   if (L < 2 * r + 1) {
     run_naive3d(p, a, b, tsteps);

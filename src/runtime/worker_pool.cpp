@@ -12,17 +12,16 @@
 #include <atomic>
 #include <chrono>
 #include <climits>
-#include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/cpu.hpp"
 #include "common/env.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sf {
 
@@ -82,6 +81,9 @@ NeighborSync::NeighborSync()
 void NeighborSync::reset(int workers) {
   if (workers > workers_) slots_.reset(new Slot[static_cast<std::size_t>(workers)]);
   workers_ = workers;
+  // relaxed: pre-publication zeroing. reset() runs under the pool's task
+  // mutex before any worker of the new task can publish or wait, so there
+  // is no concurrent reader to order against.
   for (int w = 0; w < workers; ++w)
     slots_[static_cast<std::size_t>(w)].seq.store(0, std::memory_order_relaxed);
 }
@@ -128,11 +130,17 @@ void NeighborSync::wait_for(int w, long round) const {
     if (s.seq.load(std::memory_order_seq_cst) >= round) break;
     s.waiters.fetch_add(1, std::memory_order_seq_cst);
     if (s.seq.load(std::memory_order_seq_cst) >= round) {
+      // relaxed: deregistration only. A publisher reading the stale
+      // non-zero count does one harmless extra epoch bump + wake; the
+      // Dekker pairing that prevents lost wakes is the seq_cst
+      // registration above, not this exit.
       s.waiters.fetch_sub(1, std::memory_order_relaxed);
       break;
     }
     parks_.add(1);
     futex_wait(&s.epoch, epoch);
+    // relaxed: same deregistration as above — only the increment side of
+    // the park protocol needs seq_cst ordering against `seq`.
     s.waiters.fetch_sub(1, std::memory_order_relaxed);
 #else
     std::this_thread::yield();
@@ -155,9 +163,7 @@ void test_jitter_stall(int worker) {
   // Read per call, not once: tests setenv/unsetenv around individual cases
   // and a cached parse would go stale. One getenv per *stage* (not per
   // wedge) is noise next to the stage's compute.
-  const char* v = std::getenv("SF_TEST_JITTER");
-  if (v == nullptr || *v == '\0') return;
-  const long max_us = std::atol(v);
+  const long max_us = test_jitter_us();
   if (max_us <= 0) return;
   // xorshift64, seeded from the worker index so neighbors skew differently
   // and deterministically within one thread's stage sequence.
@@ -172,18 +178,18 @@ void test_jitter_stall(int worker) {
 }
 
 struct WorkerPool::Sync {
-  std::mutex run_mu;  // serializes whole tasks across master threads
+  Mutex run_mu;  // serializes whole tasks across master threads
 
-  std::mutex mu;  // guards the fields below
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  const std::function<void(int)>* task = nullptr;
-  long epoch = 0;
-  int pending = 0;
-  bool stop = false;
-  std::exception_ptr first_error;
+  Mutex mu;  // guards the annotated fields below
+  CondVar work_cv;
+  CondVar done_cv;
+  const std::function<void(int)>* task SF_GUARDED_BY(mu) = nullptr;
+  long epoch SF_GUARDED_BY(mu) = 0;
+  int pending SF_GUARDED_BY(mu) = 0;
+  bool stop SF_GUARDED_BY(mu) = false;
+  std::exception_ptr first_error SF_GUARDED_BY(mu);
 
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // ctor spawns, dtor joins; no races
 };
 
 WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
@@ -222,8 +228,11 @@ WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
       for (;;) {
         const std::function<void(int)>* task = nullptr;
         {
-          std::unique_lock<std::mutex> lock(s.mu);
-          s.work_cv.wait(lock, [&] { return s.stop || s.epoch != seen; });
+          UniqueLock lock(s.mu);
+          // Explicit predicate loop (not a wait-with-lambda): the guarded
+          // reads stay in this scope where the thread-safety analysis can
+          // see the lock is held.
+          while (!s.stop && s.epoch == seen) s.work_cv.wait(lock);
           if (s.stop) return;
           seen = s.epoch;
           task = s.task;
@@ -238,7 +247,7 @@ WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
           try {
             (*task)(w);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(s.mu);
+            LockGuard lock(s.mu);
             if (!s.first_error) s.first_error = std::current_exception();
           }
           if (timed) {
@@ -249,7 +258,7 @@ WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
           }
         }
         {
-          std::lock_guard<std::mutex> lock(s.mu);
+          LockGuard lock(s.mu);
           if (--s.pending == 0) s.done_cv.notify_all();
         }
       }
@@ -259,7 +268,7 @@ WorkerPool::WorkerPool(int threads, Affinity affinity, const Topology& topo)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(sync_->mu);
+    LockGuard lock(sync_->mu);
     sync_->stop = true;
   }
   sync_->work_cv.notify_all();
@@ -271,13 +280,15 @@ void WorkerPool::run_locked(const std::function<void(int)>& fn) {
   t_dispatches_.add(1);
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(s.mu);
+    UniqueLock lock(s.mu);
     s.task = &fn;
     s.pending = threads();
     s.first_error = nullptr;
     ++s.epoch;
     s.work_cv.notify_all();
-    s.done_cv.wait(lock, [&] { return s.pending == 0; });
+    // Explicit loop so the guarded `pending` read is visibly under the
+    // lock (see the worker loop's matching comment).
+    while (s.pending != 0) s.done_cv.wait(lock);
     s.task = nullptr;
     err = s.first_error;
   }
@@ -290,7 +301,7 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
     for (int w = 0; w < threads(); ++w) fn(w);
     return;
   }
-  std::lock_guard<std::mutex> task_lock(sync_->run_mu);
+  LockGuard task_lock(sync_->run_mu);
   run_locked(fn);
 }
 
@@ -304,7 +315,7 @@ void WorkerPool::run_pipelined(
         "pipelined tasks cannot run inline (gate on on_worker_thread())");
   // The sync reset must be ordered against other tasks on this pool, so it
   // happens under the same task mutex the dispatch uses.
-  std::lock_guard<std::mutex> task_lock(sync_->run_mu);
+  LockGuard task_lock(sync_->run_mu);
   nsync_.reset(threads());
   run_locked([&](int w) {
     try {
@@ -363,9 +374,9 @@ struct PoolCache {
     unsigned long last_use = 0;
     std::shared_ptr<WorkerPool> pool;
   };
-  std::mutex mu;
-  std::vector<Entry> entries;
-  unsigned long tick = 0;
+  Mutex mu;
+  std::vector<Entry> entries SF_GUARDED_BY(mu);
+  unsigned long tick SF_GUARDED_BY(mu) = 0;
 };
 
 PoolCache& pool_cache() {
@@ -378,7 +389,8 @@ PoolCache& pool_cache() {
 // shared_ptrs are handed back so the caller can destroy them (joining
 // worker threads) *outside* the lock.
 std::vector<std::shared_ptr<WorkerPool>> evict_lru_locked(PoolCache& c,
-                                                          std::size_t cap) {
+                                                          std::size_t cap)
+    SF_REQUIRES(c.mu) {
   std::vector<std::shared_ptr<WorkerPool>> dropped;
   while (c.entries.size() > cap) {
     std::size_t victim = c.entries.size();
@@ -404,7 +416,7 @@ std::shared_ptr<WorkerPool> shared_pool(int threads, Affinity affinity) {
   std::vector<std::shared_ptr<WorkerPool>> graveyard;
   std::shared_ptr<WorkerPool> pool;
   {
-    std::lock_guard<std::mutex> lock(c.mu);
+    LockGuard lock(c.mu);
     for (PoolCache::Entry& e : c.entries) {
       if (e.threads == threads && e.affinity == affinity) {
         e.last_use = ++c.tick;
@@ -425,7 +437,7 @@ bool release_pool(int threads, Affinity affinity) {
   PoolCache& c = pool_cache();
   std::shared_ptr<WorkerPool> dropped;
   {
-    std::lock_guard<std::mutex> lock(c.mu);
+    LockGuard lock(c.mu);
     for (std::size_t i = 0; i < c.entries.size(); ++i) {
       if (c.entries[i].threads == threads &&
           c.entries[i].affinity == affinity) {
@@ -442,7 +454,7 @@ std::size_t release_unused_pools() {
   PoolCache& c = pool_cache();
   std::vector<std::shared_ptr<WorkerPool>> dropped;
   {
-    std::lock_guard<std::mutex> lock(c.mu);
+    LockGuard lock(c.mu);
     dropped = evict_lru_locked(c, 0);
   }
   return dropped.size();
@@ -450,7 +462,7 @@ std::size_t release_unused_pools() {
 
 std::size_t pool_cache_size() {
   PoolCache& c = pool_cache();
-  std::lock_guard<std::mutex> lock(c.mu);
+  LockGuard lock(c.mu);
   return c.entries.size();
 }
 

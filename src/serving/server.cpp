@@ -2,9 +2,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -13,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sf {
@@ -68,6 +68,8 @@ class SubmitRing {
     while (cap < static_cast<std::size_t>(capacity < 2 ? 2 : capacity))
       cap <<= 1;
     cells_.reset(new Cell[cap]);
+    // relaxed: pre-publication init — the ring is not visible to any other
+    // thread until the constructor returns.
     for (std::size_t i = 0; i < cap; ++i)
       cells_[i].seq.store(i, std::memory_order_relaxed);
     mask_ = cap - 1;
@@ -75,6 +77,8 @@ class SubmitRing {
 
   /// Multi-producer push; false when the ring is full.
   bool push(Request* r) {
+    // relaxed: only a starting hint for the claim loop; the cell seq
+    // acquire below is what orders the slot's prior contents.
     std::size_t pos = head_.load(std::memory_order_relaxed);
     Cell* cell;
     for (;;) {
@@ -83,12 +87,17 @@ class SubmitRing {
       const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
                                 static_cast<std::intptr_t>(pos);
       if (dif == 0) {
+        // relaxed: the CAS only claims a ticket number; the request itself
+        // is published by the cell's release seq store below, so the claim
+        // orders no data.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed))
           break;
       } else if (dif < 0) {
         return false;  // full
       } else {
+        // relaxed: lost the race; re-read the ticket and retry (same
+        // hint-only role as the initial load).
         pos = head_.load(std::memory_order_relaxed);
       }
     }
@@ -132,15 +141,18 @@ struct Server::Impl {
   std::atomic<bool> stop{false};
 
   // Doorbell: producers bump `pending` after a successful push and knock;
-  // the dispatcher sleeps here when the ring is empty.
-  std::mutex bell_mu;
-  std::condition_variable bell_cv;
+  // the dispatcher sleeps here when the ring is empty. `pending` stays an
+  // atomic (not guarded): producers bump it outside the bell critical
+  // section, which only orders the knock against a dispatcher about to
+  // sleep.
+  Mutex bell_mu;
+  CondVar bell_cv;
   std::atomic<long> pending{0};
 
   // Accepted-but-not-completed accounting, for drain() and the destructor.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  long inflight_total = 0;
+  Mutex done_mu;
+  CondVar done_cv;
+  long inflight_total SF_GUARDED_BY(done_mu) = 0;
 
   // Per-tenant budgets.
   struct Tenant {
@@ -152,8 +164,8 @@ struct Server::Impl {
     telemetry::Counter accepted;
     telemetry::Counter rejected;
   };
-  std::mutex tenant_mu;
-  std::unordered_map<std::string, Tenant> tenants;
+  Mutex tenant_mu;
+  std::unordered_map<std::string, Tenant> tenants SF_GUARDED_BY(tenant_mu);
 
   // Stats.
   std::atomic<long> n_submitted{0}, n_completed{0}, n_failed{0},
@@ -189,6 +201,9 @@ struct Server::Impl {
   }
 
   std::future<ServeResult> reject(Reject why, const std::string& detail) {
+    // relaxed: stats tally — the n_* atomics are independent monotone
+    // counters read only by stats()'s approximate snapshot, so the RMW's
+    // atomicity suffices (same rationale at every n_* site below).
     n_rejected.fetch_add(1, std::memory_order_relaxed);
     t_reject[static_cast<int>(why)].add(1);
     std::promise<ServeResult> p;
@@ -203,6 +218,7 @@ struct Server::Impl {
   /// of `req` (deletes it on rejection).
   std::future<ServeResult> admit(Request* req) {
     telemetry::Span span("serve.submit");
+    // relaxed: stats tally (see reject()).
     n_submitted.fetch_add(1, std::memory_order_relaxed);
     t_submitted.add(1);
     std::future<ServeResult> fut = req->promise.get_future();
@@ -212,7 +228,7 @@ struct Server::Impl {
     }
     telemetry::Counter tn_accepted, tn_rejected;
     {
-      std::lock_guard<std::mutex> lock(tenant_mu);
+      LockGuard lock(tenant_mu);
       Tenant& t = tenants[req->tenant];
       if (t_submitted.live() && !t.accepted.live()) {
         t.accepted = telemetry::counter("serving.tenant." + req->tenant +
@@ -239,7 +255,7 @@ struct Server::Impl {
       ++t.inflight;
     }
     {
-      std::lock_guard<std::mutex> lock(done_mu);
+      LockGuard lock(done_mu);
       ++inflight_total;
     }
     if (!ring.push(req)) {
@@ -255,7 +271,7 @@ struct Server::Impl {
     {
       // Empty critical section: orders the knock against a dispatcher that
       // checked `pending` just before our increment and is about to sleep.
-      std::lock_guard<std::mutex> lock(bell_mu);
+      LockGuard lock(bell_mu);
     }
     bell_cv.notify_one();
     return fut;
@@ -263,11 +279,11 @@ struct Server::Impl {
 
   void settle_accounting(const std::string& tenant) {
     {
-      std::lock_guard<std::mutex> lock(tenant_mu);
+      LockGuard lock(tenant_mu);
       --tenants[tenant].inflight;
     }
     {
-      std::lock_guard<std::mutex> lock(done_mu);
+      LockGuard lock(done_mu);
       --inflight_total;
     }
     done_cv.notify_all();
@@ -276,9 +292,11 @@ struct Server::Impl {
   /// Fulfills one request's future and releases its accounting.
   void complete(Request* req, ServeResult r) {
     if (r.error.empty()) {
+      // relaxed: stats tally (see reject()).
       n_completed.fetch_add(1, std::memory_order_relaxed);
       t_completed.add(1);
     } else {
+      // relaxed: stats tally (see reject()).
       n_failed.fetch_add(1, std::memory_order_relaxed);
       t_failed.add(1);
     }
@@ -329,8 +347,11 @@ struct Server::Impl {
       error = "unknown execution error";
     }
     const double exec = seconds_between(t_dispatch, Clock::now());
+    // relaxed: stats tally (see reject()).
     n_batches.fetch_add(1, std::memory_order_relaxed);
     t_batches.add(1);
+    // relaxed: monotone high-water mark; the CAS loop re-reads the current
+    // value on every failure, and no other data hangs off it.
     int prev = max_batch.load(std::memory_order_relaxed);
     while (prev < static_cast<int>(group.size()) &&
            !max_batch.compare_exchange_weak(prev,
@@ -362,15 +383,18 @@ struct Server::Impl {
     std::vector<std::vector<Request*>> groups;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(bell_mu);
-        bell_cv.wait(lock, [&] {
-          return stop.load(std::memory_order_acquire) ||
-                 pending.load(std::memory_order_acquire) > 0;
-        });
+        UniqueLock lock(bell_mu);
+        // Explicit predicate loop; the predicate reads only atomics, but
+        // the loop form keeps the shape uniform with the pool's waits.
+        while (!stop.load(std::memory_order_acquire) &&
+               pending.load(std::memory_order_acquire) <= 0)
+          bell_cv.wait(lock);
       }
       // Queue depth as the dispatcher observes it at wakeup — the signal
       // the ROADMAP's adaptive-max_batch follow-on will feed on.
       if (t_queue_depth.live()) {
+        // relaxed: approximate telemetry sample; the depth is stale the
+        // moment it is read and orders nothing.
         const long depth = pending.load(std::memory_order_relaxed);
         if (depth > 0) t_queue_depth.record(depth);
       }
@@ -378,6 +402,9 @@ struct Server::Impl {
       while (static_cast<int>(round.size()) < opts.max_batch) {
         Request* r = ring.pop();
         if (r == nullptr) break;
+        // relaxed: bookkeeping decrement; the request's data was already
+        // ordered by the ring pop's acquire load, and `pending` is only a
+        // doorbell hint/shutdown count re-checked under acquire above.
         pending.fetch_sub(1, std::memory_order_relaxed);
         round.push_back(r);
       }
@@ -418,7 +445,7 @@ Server::~Server() {
   impl_->accepting.store(false, std::memory_order_release);
   impl_->stop.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(impl_->bell_mu);
+    LockGuard lock(impl_->bell_mu);
   }
   impl_->bell_cv.notify_all();
   impl_->dispatcher.join();
@@ -479,6 +506,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
     }
   }
   if (r == nullptr) {
+    // relaxed: stats tally (see Impl::reject()).
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
     impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
@@ -506,6 +534,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
     }
   }
   if (r == nullptr) {
+    // relaxed: stats tally (see Impl::reject()).
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
     impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
@@ -532,6 +561,7 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
     }
   }
   if (r == nullptr) {
+    // relaxed: stats tally (see Impl::reject()).
     impl_->n_submitted.fetch_add(1, std::memory_order_relaxed);
     impl_->t_submitted.add(1);
     return impl_->reject(Reject::BadRequest, why);
@@ -543,8 +573,11 @@ std::future<ServeResult> Server::submit(const std::string& tenant,
 }
 
 void Server::drain() {
-  std::unique_lock<std::mutex> lock(impl_->done_mu);
-  impl_->done_cv.wait(lock, [&] { return impl_->inflight_total == 0; });
+  UniqueLock lock(impl_->done_mu);
+  // Explicit loop: the guarded inflight_total read stays where the
+  // thread-safety analysis can see the lock (lambdas are analyzed as
+  // separate, lock-free functions).
+  while (impl_->inflight_total != 0) impl_->done_cv.wait(lock);
 }
 
 std::string Server::metrics() const {
@@ -563,6 +596,8 @@ std::string Server::metrics() const {
 
 ServerStats Server::stats() const {
   ServerStats s;
+  // relaxed: approximate snapshot of independent monotone tallies — the
+  // documented stats() contract; nothing is ordered by these reads.
   s.submitted = impl_->n_submitted.load(std::memory_order_relaxed);
   s.completed = impl_->n_completed.load(std::memory_order_relaxed);
   s.failed = impl_->n_failed.load(std::memory_order_relaxed);

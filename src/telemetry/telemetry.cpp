@@ -14,10 +14,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "common/env.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sf::telemetry {
 
@@ -35,12 +36,16 @@ std::atomic<int> tid_seq{0};
 // Round-robin shard assignment at first use per thread: workers created
 // together land on distinct shards.
 unsigned my_shard() {
+  // relaxed: a pure id allocator — each thread only needs a unique ticket,
+  // and the RMW's own atomicity guarantees that; no other data is ordered
+  // by it.
   thread_local const unsigned shard =
       shard_seq.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
   return shard;
 }
 
 int my_tid() {
+  // relaxed: same id-allocator argument as my_shard().
   thread_local const int tid = tid_seq.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
@@ -57,6 +62,10 @@ struct CounterCells {
 
   std::int64_t sum() const {
     std::int64_t s = 0;
+    // relaxed: statistical read. Shard cells are independent monotone
+    // tallies; a reader racing writers sees a slightly-stale total, which
+    // is the documented contract of snapshot() — no write is ordered by a
+    // counter value.
     for (const Cell& c : cells) s += c.v.load(std::memory_order_relaxed);
     return s;
   }
@@ -78,8 +87,12 @@ struct HistogramCells {
     out.name = name;
     out.buckets.fill(0);
     for (const Shard& s : shards) {
+      // relaxed: statistical read, as CounterCells::sum(). A racing
+      // record() may be half-applied (bucket visible, sum not yet): the
+      // aggregate is approximate by contract, never used for ordering.
       out.count += s.count.load(std::memory_order_relaxed);
       out.sum += s.sum.load(std::memory_order_relaxed);
+      // relaxed: same statistical-read contract as count/sum above.
       for (int b = 0; b < kHistogramBuckets; ++b)
         out.buckets[static_cast<std::size_t>(b)] +=
             s.buckets[b].load(std::memory_order_relaxed);
@@ -89,9 +102,9 @@ struct HistogramCells {
 };
 
 struct SampleTable {
-  std::mutex mu;
-  std::vector<std::string> columns;
-  std::vector<std::vector<std::string>> rows;
+  Mutex mu;
+  std::vector<std::string> columns SF_GUARDED_BY(mu);
+  std::vector<std::vector<std::string>> rows SF_GUARDED_BY(mu);
 };
 
 }  // namespace detail
@@ -99,19 +112,24 @@ struct SampleTable {
 namespace {
 
 struct TraceRing {
-  std::mutex mu;
-  int tid = 0;
-  std::vector<TraceEvent> slots;  // fixed capacity, set at creation
-  std::size_t head = 0;           // next write index
-  std::uint64_t total = 0;        // events ever recorded (wrap detection)
+  Mutex mu;
+  int tid = 0;  // immutable after creation (set before the ring is shared)
+  // fixed capacity, set at creation
+  std::vector<TraceEvent> slots SF_GUARDED_BY(mu);
+  std::size_t head SF_GUARDED_BY(mu) = 0;    // next write index
+  std::uint64_t total SF_GUARDED_BY(mu) = 0;  // events ever recorded
+                                              // (wrap detection)
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<detail::CounterCells>> counters;
-  std::map<std::string, std::unique_ptr<detail::HistogramCells>> histograms;
-  std::map<std::string, std::unique_ptr<detail::SampleTable>> samples;
-  std::vector<std::shared_ptr<TraceRing>> rings;
+  Mutex mu;
+  std::map<std::string, std::unique_ptr<detail::CounterCells>> counters
+      SF_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<detail::HistogramCells>> histograms
+      SF_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<detail::SampleTable>> samples
+      SF_GUARDED_BY(mu);
+  std::vector<std::shared_ptr<TraceRing>> rings SF_GUARDED_BY(mu);
 };
 
 // Leaked on purpose: metric handles are raw pointers into the registry and
@@ -128,21 +146,21 @@ struct EnvState {
   std::string out_dir;
 };
 
-std::mutex env_mu;
-EnvState env_state;
-bool env_loaded = false;
-bool exit_hook_registered = false;
+Mutex env_mu;
+EnvState env_state SF_GUARDED_BY(env_mu);
+bool env_loaded SF_GUARDED_BY(env_mu) = false;
+bool exit_hook_registered SF_GUARDED_BY(env_mu) = false;
 
 void exit_dump() {
   std::string dir;
   {
-    std::lock_guard<std::mutex> lock(env_mu);
+    LockGuard lock(env_mu);
     dir = env_state.out_dir;
   }
   if (!dir.empty()) write_reports(dir);
 }
 
-void load_env_locked() {
+void load_env_locked() SF_REQUIRES(env_mu) {
   env_state.metrics = env_flag("SF_METRICS");
   env_state.trace = env_flag("SF_TRACE");
   const long cap = env_long("SF_TRACE_BUF", 8192);
@@ -156,7 +174,7 @@ void load_env_locked() {
 }
 
 EnvState env() {
-  std::lock_guard<std::mutex> lock(env_mu);
+  LockGuard lock(env_mu);
   if (!env_loaded) load_env_locked();
   return env_state;
 }
@@ -165,9 +183,15 @@ TraceRing* my_ring() {
   thread_local std::shared_ptr<TraceRing> ring = [] {
     auto r = std::make_shared<TraceRing>();
     r->tid = my_tid();
-    r->slots.resize(static_cast<std::size_t>(trace_capacity()));
+    {
+      // Uncontended (the ring is not shared yet); taken for the
+      // thread-safety analysis, which checks guarded members at every
+      // access, visibility notwithstanding.
+      LockGuard init(r->mu);
+      r->slots.resize(static_cast<std::size_t>(trace_capacity()));
+    }
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    LockGuard lock(reg.mu);
     reg.rings.push_back(r);
     return r;
   }();
@@ -211,7 +235,7 @@ bool trace_enabled() { return env().trace; }
 int trace_capacity() { return env().trace_cap; }
 
 void refresh_env() {
-  std::lock_guard<std::mutex> lock(env_mu);
+  LockGuard lock(env_mu);
   load_env_locked();
 }
 
@@ -221,13 +245,17 @@ void refresh_env() {
 
 void Counter::add(std::int64_t n) const {
   if (cells_ == nullptr) return;
+  // relaxed: hot-path tally. Each shard is an independent monotone sum
+  // read only by snapshot()'s statistical aggregation; the increment
+  // carries no happens-before obligation, so the RMW's atomicity is all
+  // that is required.
   cells_->cells[my_shard()].v.fetch_add(n, std::memory_order_relaxed);
 }
 
 Counter counter(const std::string& name) {
   if (!metrics_enabled()) return Counter();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  LockGuard lock(reg.mu);
   auto& slot = reg.counters[name];
   if (!slot) slot = std::make_unique<detail::CounterCells>();
   return Counter(slot.get());
@@ -247,6 +275,9 @@ std::int64_t histogram_bucket_lo(int b) {
 void Histogram::record(std::int64_t v) const {
   if (cells_ == nullptr) return;
   detail::HistogramCells::Shard& s = cells_->shards[my_shard()];
+  // relaxed: hot-path tallies, as Counter::add. The three cells of one
+  // record() are not applied atomically as a group; aggregate() documents
+  // the resulting snapshot skew as acceptable.
   s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
   s.count.fetch_add(1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
@@ -255,7 +286,7 @@ void Histogram::record(std::int64_t v) const {
 Histogram histogram(const std::string& name) {
   if (!metrics_enabled()) return Histogram();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  LockGuard lock(reg.mu);
   auto& slot = reg.histograms[name];
   if (!slot) slot = std::make_unique<detail::HistogramCells>();
   return Histogram(slot.get());
@@ -263,7 +294,7 @@ Histogram histogram(const std::string& name) {
 
 void SampleLog::append(const std::vector<std::string>& row) const {
   if (table_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(table_->mu);
+  LockGuard lock(table_->mu);
   if (row.size() != table_->columns.size()) return;
   table_->rows.push_back(row);
 }
@@ -272,10 +303,13 @@ SampleLog samples(const std::string& name,
                   const std::vector<std::string>& columns) {
   if (!metrics_enabled()) return SampleLog();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  LockGuard lock(reg.mu);
   auto& slot = reg.samples[name];
   if (!slot) {
     slot = std::make_unique<detail::SampleTable>();
+    // Uncontended (the table is not yet visible outside the registry
+    // lock); taken for the thread-safety analysis.
+    LockGuard init(slot->mu);
     slot->columns = columns;
   }
   return SampleLog(slot.get());
@@ -297,7 +331,7 @@ namespace detail {
 
 void record_span(const char* name, std::int64_t t0_ns, std::int64_t t1_ns) {
   TraceRing* r = my_ring();
-  std::lock_guard<std::mutex> lock(r->mu);
+  LockGuard lock(r->mu);
   r->slots[r->head] = TraceEvent{name, t0_ns, t1_ns - t0_ns, r->tid};
   r->head = (r->head + 1) % r->slots.size();
   ++r->total;
@@ -309,12 +343,12 @@ std::vector<TraceEvent> trace_events() {
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    LockGuard lock(reg.mu);
     rings = reg.rings;
   }
   std::vector<TraceEvent> out;
   for (const auto& r : rings) {
-    std::lock_guard<std::mutex> lock(r->mu);
+    LockGuard lock(r->mu);
     const std::size_t cap = r->slots.size();
     const std::size_t n = r->total < cap ? static_cast<std::size_t>(r->total)
                                          : cap;
@@ -393,13 +427,13 @@ const HistogramSample* Snapshot::find_histogram(const std::string& name) const {
 Snapshot snapshot() {
   Snapshot out;
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  LockGuard lock(reg.mu);
   for (const auto& [name, cells] : reg.counters)
     out.counters.push_back(CounterSample{name, cells->sum()});
   for (const auto& [name, cells] : reg.histograms)
     out.histograms.push_back(cells->aggregate(name));
   for (const auto& [name, table] : reg.samples) {
-    std::lock_guard<std::mutex> tlock(table->mu);
+    LockGuard tlock(table->mu);
     out.samples.push_back(SampleTableDump{name, table->columns, table->rows});
   }
   return out;
