@@ -18,6 +18,10 @@ int main() {
   const std::vector<int> tregimes = full ? std::vector<int>{1000, 10000}
                                          : std::vector<int>{50, 500};
 
+  // Machine-readable trajectory: every (T, n, method) GFLOP/s lands in
+  // BENCH_fig8.json alongside the stamped CSVs (scripts/bench_summary.py
+  // merges these across runs/PRs).
+  std::vector<std::pair<std::string, double>> summary;
   for (int tsteps : tregimes) {
     std::vector<std::string> header{"n", "level"};
     for (const KernelInfo* k : methods) header.push_back(k->name);
@@ -42,6 +46,10 @@ int main() {
                        .steps(tsteps)
                        .tiling(Tiling::Off);
         RunResult r = bench::measure(s);
+        summary.emplace_back("T" + std::to_string(tsteps) + ".n" +
+                                 std::to_string(n) + "." + k->name +
+                                 ".gflops",
+                             r.gflops);
         row.push_back(Table::num(r.gflops));
         if (r.gflops > best) {
           best = r.gflops;
@@ -53,5 +61,6 @@ int main() {
     }
     bench::emit(t, "fig8_blockfree_T" + std::to_string(tsteps));
   }
+  bench::emit_bench_json("fig8", summary);
   return 0;
 }

@@ -26,6 +26,10 @@ int main() {
   std::cout << "Figure 9: multicore cache-blocked GFLOP/s ("
             << (full ? "paper" : "fast") << " sizes, " << hardware_threads()
             << " threads)\n";
+  // Machine-readable trajectory: every (stencil, competitor) GFLOP/s lands
+  // in BENCH_fig9.json alongside the stamped CSV (scripts/bench_summary.py
+  // merges these across runs/PRs).
+  std::vector<std::pair<std::string, double>> summary;
   for (const auto& spec : all_presets()) {
     std::vector<std::string> row{spec.name};
     double base = 0, our2 = 0;
@@ -39,6 +43,8 @@ int main() {
       }
       Solver s = bench::competitor_solver(m, spec, full);
       RunResult r = bench::measure(s);
+      summary.emplace_back(
+          std::string(spec.name) + "." + m.label + ".gflops", r.gflops);
       row.push_back(Table::num(r.gflops));
       if (base == 0) base = r.gflops;  // first column (sdsl) is the base
       // The speedup column tracks the folded method at AVX-2, keyed on the
@@ -51,6 +57,8 @@ int main() {
       Solver s =
           bench::competitor_solver(*our2_avx2, spec, full, Tiling::Auto);
       RunResult r = bench::measure(s);
+      summary.emplace_back(
+          std::string(spec.name) + ".our-2step-auto.gflops", r.gflops);
       row.push_back(Table::num(r.gflops) +
                     (s.plan().tiled ? ":tiled" : ":untiled"));
     } else {
@@ -60,5 +68,6 @@ int main() {
     t.add_row(row);
   }
   bench::emit(t, "fig9_multicore");
+  bench::emit_bench_json("fig9", summary);
   return 0;
 }

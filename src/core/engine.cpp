@@ -831,6 +831,14 @@ void resolve_request(const StencilSpec& spec, Extents& ext, ExecOptions& opts,
   if (ext.nz == 0) ext.nz = spec.dims >= 3 ? spec.small_size[2] : 1;
   tsteps = opts.tsteps > 0 ? opts.tsteps
                            : static_cast<int>(spec.small_tsteps);
+  // Tile-tree depth: unset defers to SF_TILE_LEVELS; Auto (-1, from either
+  // source) engages the full hierarchy exactly when the ping-pong working
+  // set spills the LLC — flat plans already keep LLC-resident tiles.
+  if (opts.levels == 0) opts.levels = env_tile_levels();
+  if (opts.levels < 0)
+    opts.levels =
+        working_set_bytes(ext.nx, ext.ny, ext.nz) > llc_bytes() ? 3 : 1;
+  opts.levels = opts.levels < 1 ? 1 : opts.levels > 3 ? 3 : opts.levels;
 }
 
 // The plan key: FNV-1a over the full effective request. Equal keys mean
@@ -855,6 +863,7 @@ std::uint64_t request_key(std::uint64_t spec_hash, const Extents& ext,
   h = fnv1a(h, static_cast<std::uint64_t>(o.halo_policy));
   h = fnv1a(h, static_cast<std::uint64_t>(o.affinity));
   h = fnv1a(h, static_cast<std::uint64_t>(o.pipeline));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.levels));
   h = fnv1a(h, o.validate ? 1u : 0u);
   return h;
 }
@@ -944,6 +953,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
            e.opts.halo_policy == opts.halo_policy &&
            e.opts.affinity == opts.affinity &&
            e.opts.pipeline == opts.pipeline &&
+           e.opts.levels == opts.levels &&
            e.opts.validate == opts.validate &&
            same_spec(e.state->spec, spec);
   };
@@ -1013,6 +1023,7 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   req.time_block = opts.time_block;
   req.affinity = opts.affinity;
   req.pipeline = opts.pipeline;
+  req.levels = opts.levels;
   st->plan = plan_execution(req);
 
   // Build or reuse the runtime pool the tiled stages will run on (shared
@@ -1023,7 +1034,13 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
   // instead of growing it mid-stage.
   if (st->plan.tiled && st->plan.blocked && st->plan.tile.threads > 1) {
     st->pool = shared_pool(st->plan.tile.threads, opts.affinity);
-    if (spec.dims == 3 && st->kernel->method == Method::Ours2) {
+    // Pipelined plans skip the prepare-time dispatch: the wedge schedule's
+    // per-worker prologue first-touches each arena in the slot that already
+    // overlaps the first super-step (tiling/split_tiling.cpp), so paying a
+    // full pool round-trip here would be pure duplicated latency. The
+    // barrier schedule has no prologue, so those plans still pre-size here.
+    if (spec.dims == 3 && st->kernel->method == Method::Ours2 &&
+        opts.pipeline == Pipeline::Off) {
       const FoldingPlan fold =
           plan_folding(spec.p3, st->kernel->fold_depth);
       const detail::Folded3DWindowShape shape = detail::folded3d_window_shape(
@@ -1054,7 +1071,8 @@ PreparedStencil Engine::prepare(const StencilSpec& spec, Extents ext,
     // lookup key) — re-derive it the same way.
     entry.tune_key =
         make_tune_key(*st->kernel, effective_radius(spec), ext.nx, ext.ny,
-                      ext.nz, tsteps, plan_geometry(req).threads);
+                      ext.nz, tsteps, plan_geometry(req).threads,
+                      st->plan.tile.levels);
     entry.tune_seen = TuneCache::instance().lookup_rounded(entry.tune_key);
   }
   entry.state = st;

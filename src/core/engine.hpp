@@ -104,6 +104,14 @@ struct ExecOptions {
   ///< process-wide `SF_PIPELINE` default at prepare() time, so prepared
   ///< handles are env-immune and the plan cache keys on the effective
   ///< value.
+  int levels = 0;
+  ///< Tile-tree depth of the plan (core/execution_plan.hpp TileTree):
+  ///< 1 keeps the flat one-level plan, 2/3 engage the hierarchical
+  ///< LLC/register blocking negotiation, -1 picks the depth from the
+  ///< working set vs the LLC (Auto), and 0 (the default) defers to the
+  ///< process-wide `SF_TILE_LEVELS` default — resolved at prepare() time,
+  ///< so prepared handles are env-immune and the plan cache keys on the
+  ///< effective depth. Results are bitwise identical across depths.
   bool validate = true;
   ///< Per-call FieldView validation in run()/advance(). Default on; the
   ///< debug-only escape hatch (`validate = false`, or `SF_VALIDATE=0`

@@ -10,13 +10,16 @@ namespace sf {
 namespace {
 
 // One entry per line:
-//   v2 <kernel> <isa> <dims> <radius> <nx> <ny> <nz> <tsteps> <threads>
-//      <tile> <tb> <tuned_threads>
+//   v3 <kernel> <isa> <dims> <radius> <nx> <ny> <nz> <tsteps> <threads>
+//      <tile> <tb> <tuned_threads> <levels> <leaf>
 // The kernel key never contains whitespace (registry names are method
-// names), so plain stream extraction round-trips. v1 lines (no
-// <tuned_threads> column) still parse — the field defaults to 0, meaning
-// "deploy with the key's thread count".
-constexpr const char* kFormatTag = "v2";
+// names), so plain stream extraction round-trips. Earlier formats still
+// parse, each missing column defaulting to its pre-axis meaning: v2 lines
+// (no <levels> <leaf>) load as flat entries (levels = 1, leaf = 0), v1
+// lines (additionally no <tuned_threads>) also deploy with the key's
+// thread count (tuned_threads = 0).
+constexpr const char* kFormatTag = "v3";
+constexpr const char* kFormatTagV2 = "v2";
 constexpr const char* kFormatTagV1 = "v1";
 
 int isa_code(Isa isa) { return static_cast<int>(isa); }
@@ -35,7 +38,8 @@ std::string to_line(const TuneKey& k, const TunedGeometry& g) {
   os << kFormatTag << ' ' << k.kernel << ' ' << isa_code(k.isa) << ' '
      << k.dims << ' ' << k.radius << ' ' << k.nx << ' ' << k.ny << ' '
      << k.nz << ' ' << k.tsteps << ' ' << k.threads << ' ' << g.tile << ' '
-     << g.time_block << ' ' << g.threads;
+     << g.time_block << ' ' << g.threads << ' ' << k.levels << ' '
+     << g.leaf;
   return os.str();
 }
 
@@ -47,8 +51,13 @@ bool parse_line(const std::string& line, TuneKey& k, TunedGeometry& g) {
         k.nz >> k.tsteps >> k.threads >> g.tile >> g.time_block))
     return false;
   g.threads = 0;
-  if (tag == kFormatTag) {
+  k.levels = 1;
+  g.leaf = 0;
+  if (tag == kFormatTag || tag == kFormatTagV2) {
     if (!(is >> g.threads) || g.threads < 0) return false;
+    if (tag == kFormatTag &&
+        (!(is >> k.levels >> g.leaf) || k.levels < 1 || g.leaf < 0))
+      return false;
   } else if (tag != kFormatTagV1) {
     return false;
   }
@@ -59,7 +68,7 @@ bool parse_line(const std::string& line, TuneKey& k, TunedGeometry& g) {
 }  // namespace
 
 TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
-                      long nz, int tsteps, int threads) {
+                      long nz, int tsteps, int threads, int levels) {
   TuneKey k;
   k.kernel = kernel.name;
   k.isa = kernel.isa;
@@ -70,6 +79,7 @@ TuneKey make_tune_key(const KernelInfo& kernel, int radius, long nx, long ny,
   k.nz = nz;
   k.tsteps = tsteps;
   k.threads = threads;
+  k.levels = levels;
   return k;
 }
 
@@ -191,7 +201,7 @@ bool TuneCache::save_file(const std::string& path) const {
   if (!out) return false;
   out << "# stencilfold tuning cache: " << kFormatTag
       << " kernel isa dims radius nx ny nz tsteps threads tile time_block"
-         " tuned_threads\n";
+         " tuned_threads levels leaf\n";
   LockGuard lock(mu_);
   for (const auto& e : entries_) out << to_line(e.first, e.second) << '\n';
   return static_cast<bool>(out);

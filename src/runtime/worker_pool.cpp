@@ -346,15 +346,18 @@ void WorkerPool::ensure_arena(std::size_t nbufs, std::size_t doubles_each) {
   // pool task (folded3d_advance grows a mismatched window mid-stage), so
   // only the owner inspects its vector: the satisfied-check runs inside
   // the task, where run()'s serialization orders it against other tasks.
-  run([&](int w) {
-    std::vector<AlignedBuffer>& a = arena(w);
-    if (a.size() == nbufs && (nbufs == 0 || a[0].size() >= doubles_each))
-      return;
-    a.clear();
-    // AlignedBuffer zero-fills on construction: the memset happens on this
-    // (pinned) worker, so first-touch policy places the pages on its node.
-    for (std::size_t i = 0; i < nbufs; ++i) a.emplace_back(doubles_each);
-  });
+  run([&](int w) { ensure_arena_local(w, nbufs, doubles_each); });
+}
+
+void WorkerPool::ensure_arena_local(int w, std::size_t nbufs,
+                                    std::size_t doubles_each) {
+  std::vector<AlignedBuffer>& a = arena(w);
+  if (a.size() == nbufs && (nbufs == 0 || a[0].size() >= doubles_each))
+    return;
+  a.clear();
+  // AlignedBuffer zero-fills on construction: the memset happens on this
+  // (pinned) worker, so first-touch policy places the pages on its node.
+  for (std::size_t i = 0; i < nbufs; ++i) a.emplace_back(doubles_each);
 }
 
 namespace {

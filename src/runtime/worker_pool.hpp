@@ -205,6 +205,15 @@ class WorkerPool {
   /// workspace survives across Engine::prepare calls and runs).
   void ensure_arena(std::size_t nbufs, std::size_t doubles_each);
 
+  /// Worker-side body of ensure_arena() for a single arena: checks, and if
+  /// needed (re)allocates + zeroes, worker `w`'s arena. Must be called from
+  /// a task already running on worker `w` (arenas are worker-owned; only
+  /// the owner may inspect or resize its vector) — the pipelined wedge
+  /// prologue uses this to fold the first-touch zeroing into the slot that
+  /// already overlaps the first super-step instead of paying a separate
+  /// pool dispatch at prepare time.
+  void ensure_arena_local(int w, std::size_t nbufs, std::size_t doubles_each);
+
  private:
   struct Worker {
     std::vector<AlignedBuffer> arena;

@@ -1,5 +1,6 @@
 #include "serving/server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "telemetry/telemetry.hpp"
@@ -176,6 +178,8 @@ struct Server::Impl {
   telemetry::Counter t_submitted, t_accepted, t_completed, t_failed,
       t_batches;
   telemetry::Counter t_reject[6];  // indexed by static_cast<int>(Reject)
+  // Gauge (by delta): the dispatcher's current adaptive drain cap.
+  telemetry::Counter t_adaptive;
   telemetry::Histogram t_queue_depth, t_batch_size, t_queue_us, t_exec_us;
 
   std::thread dispatcher;
@@ -188,6 +192,7 @@ struct Server::Impl {
         t_completed(telemetry::counter("serving.completed")),
         t_failed(telemetry::counter("serving.failed")),
         t_batches(telemetry::counter("serving.batches")),
+        t_adaptive(telemetry::counter("serving.adaptive_batch")),
         t_queue_depth(telemetry::histogram("serving.queue_depth")),
         t_batch_size(telemetry::histogram("serving.batch_size")),
         t_queue_us(telemetry::histogram("serving.queue_us")),
@@ -374,13 +379,31 @@ struct Server::Impl {
     group.clear();
   }
 
-  /// The dispatcher: drain up to max_batch requests, group by
+  /// The dispatcher: drain up to the round's cap (max_batch, adaptively
+  /// lowered from the observed queue depth unless disabled), group by
   /// (plan key, nsteps) preserving first-appearance order, execute each
   /// group batched. Exits only when stopped *and* the ring is empty, so
   /// shutdown drains every accepted request.
   void dispatch_loop() {
     std::vector<Request*> round;
     std::vector<std::vector<Request*>> groups;
+    // Adaptive drain cap (dispatcher-local, no locks): the cap for a round
+    // is twice the peak queue depth observed over the last 16 wakeups —
+    // headroom above anything recently seen — bounded by the configured
+    // max_batch. A lightly loaded server thus dispatches small rounds
+    // (lower per-request latency) while a backlogged one opens the full
+    // batching window. The window seeds at max_batch so the first rounds
+    // run uncapped, and the cap is computed *before* the current
+    // observation is pushed, so one deep wakeup already runs under the
+    // previous cap while widening the next round's.
+    const bool adaptive = opts.adaptive_batch && env_adaptive_batch();
+    long depth_window[16];
+    for (long& d : depth_window) d = opts.max_batch;
+    std::size_t window_at = 0;
+    int last_cap = opts.max_batch;
+    // Gauge-by-delta seed: the counter's running total tracks the current
+    // cap, starting at the configured max_batch.
+    if (adaptive) t_adaptive.add(last_cap);
     for (;;) {
       {
         UniqueLock lock(bell_mu);
@@ -391,15 +414,27 @@ struct Server::Impl {
           bell_cv.wait(lock);
       }
       // Queue depth as the dispatcher observes it at wakeup — the signal
-      // the ROADMAP's adaptive-max_batch follow-on will feed on.
-      if (t_queue_depth.live()) {
-        // relaxed: approximate telemetry sample; the depth is stale the
-        // moment it is read and orders nothing.
-        const long depth = pending.load(std::memory_order_relaxed);
-        if (depth > 0) t_queue_depth.record(depth);
+      // the adaptive cap feeds on.
+      // relaxed: approximate sample; the depth is stale the moment it is
+      // read and orders nothing.
+      const long depth = pending.load(std::memory_order_relaxed);
+      if (depth > 0 && t_queue_depth.live()) t_queue_depth.record(depth);
+      int cap = opts.max_batch;
+      if (adaptive) {
+        long peak = 0;
+        for (long d : depth_window) peak = std::max(peak, d);
+        cap = static_cast<int>(
+            std::min<long>(opts.max_batch, std::max(1L, 2 * peak)));
+        depth_window[window_at++ % 16] = depth > 0 ? depth : 0;
+        if (cap != last_cap) {
+          // Gauge-by-delta: the counter's running total tracks the current
+          // cap (may step down as well as up).
+          t_adaptive.add(cap - last_cap);
+          last_cap = cap;
+        }
       }
       round.clear();
-      while (static_cast<int>(round.size()) < opts.max_batch) {
+      while (static_cast<int>(round.size()) < cap) {
         Request* r = ring.pop();
         if (r == nullptr) break;
         // relaxed: bookkeeping decrement; the request's data was already

@@ -39,6 +39,7 @@ struct WedgePlan {
   int tile = 0;
   int H = 0;      // super-steps per time block
   int threads = 1;
+  int levels = 1;  // engaged tile-tree depth (TilePlan::levels)
   Affinity affinity = Affinity::None;
   bool blocked = true;   // false: domain too small, run unblocked
   bool pipeline = true;  // false: legacy global-barrier stage schedule
@@ -56,6 +57,7 @@ WedgePlan make_plan(int n, int slope, int super_steps, const TilePlan& opt,
   w.tile = g.tile;
   w.H = std::max(1, g.time_block / m);
   w.threads = g.threads;
+  w.levels = std::max(1, opt.levels);
   w.affinity = opt.affinity;
   w.blocked = g.blocked;
   w.pipeline = opt.pipeline == Pipeline::On ||
@@ -95,6 +97,26 @@ std::shared_ptr<WorkerPool> plan_pool(const WedgePlan& w) {
 /// schedule(static) produced, and the same map the planner reports
 /// (ExecutionPlan::placement) and first_touch() initializes by, so a
 /// worker's tiles stay on its NUMA node across all super-steps.
+///
+/// That per-worker tile loop is also how the schedule walks a hierarchical
+/// tile tree (core/execution_plan.hpp TileTree): the worker's owned range
+/// [t0, t1) *is* the top (shard) level, each owned tile is one mid-level
+/// (LLC-capped, leaf-rounded) tile, and one wedge is the leaf execution.
+/// Flat plans are the degenerate one-tile-per-worker walk.
+///
+/// Tree plans (w.levels >= 2) additionally *fuse* the two sweeps: the
+/// inverted wedge at an interior tile boundary kt depends only on the up
+/// wedges at kt-1 and kt (the blocked-geometry guarantee keeps every other
+/// wedge pair disjoint), so the walk runs up(kt) immediately followed by
+/// down(kt) and the flank rows the down wedge consumes are the ones the two
+/// preceding up wedges just wrote — reuse distance of one LLC-sized tile
+/// instead of the worker's whole shard (the flat walk sweeps all ups, then
+/// re-reads everything for the downs). Only the boundary wedge at t0 reads
+/// another worker's rows; it stays behind the same neighbor wait as the
+/// flat walk. The wedge set and every wedge's inputs are identical — each
+/// (row, parity) value is written exactly once per block by the same adv
+/// call — so results are bitwise equal across tree depths and the
+/// NeighborSync protocol stays per *worker*, i.e. at the top level only.
 ///
 /// Two schedules execute that identical wedge set (bitwise-identical
 /// results; only the waiting differs):
@@ -142,9 +164,16 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
     telemetry::Counter barrier_runs =
         telemetry::counter("tiling.wedge.barrier_runs");
     telemetry::Counter blocks = telemetry::counter("tiling.wedge.blocks");
+    telemetry::Counter tree_runs =
+        telemetry::counter("tiling.wedge.tree_runs");
   };
   static const WedgeTelemetry wt;
   const long nblocks = w.H > 0 ? (super_steps + w.H - 1) / w.H : 0;
+  // A schedule counts as a tree run when its geometry was negotiated at
+  // depth >= 2: LLC-capped tiles per worker, walked with the fused
+  // up/down traversal (see above).
+  const bool fused = w.levels >= 2;
+  if (fused) wt.tree_runs.add(1);
   auto up_tile = [&](int kt, int hb, int cur, int wk) {
     const int x0 = kt * w.tile;
     const int x1 = std::min(w.n, x0 + w.tile);
@@ -176,12 +205,22 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
         const int hb = std::min(w.H, super_steps - s0);
         if (b > 0 && wk + 1 < nworkers) sync.wait_for(wk + 1, 2 * b);
         test_jitter_stall(wk);
-        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, cur, wk);
+        for (int kt = t0; kt < t1; ++kt) {
+          up_tile(kt, hb, cur, wk);
+          // Tree walk: the interior inverted wedge at kt needs only the up
+          // wedges at kt-1 and kt — consume their flanks while resident.
+          if (fused && kt > t0) down_tile(kt, hb, cur, wk);
+        }
         sync.publish(wk, 2 * b + 1);
         if (wk > 0) sync.wait_for(wk - 1, 2 * b + 1);
         test_jitter_stall(wk);
-        for (int kt = std::max(1, t0); kt < t1; ++kt)
-          down_tile(kt, hb, cur, wk);
+        if (fused) {
+          // Only the boundary wedge at t0 (reads w-1's up flank) is left.
+          if (t0 >= 1 && t0 < t1) down_tile(t0, hb, cur, wk);
+        } else {
+          for (int kt = std::max(1, t0); kt < t1; ++kt)
+            down_tile(kt, hb, cur, wk);
+        }
         sync.publish(wk, 2 * b + 2);
         cur = (cur + hb) & 1;
       }
@@ -201,13 +240,27 @@ int wedge_schedule(G& a, G& b, const WedgePlan& w, int super_steps, Adv&& adv,
     if (pool != nullptr) {
       pool->run([&](int wk) {
         const auto [t0, t1] = place.tiles_of(wk);
-        for (int kt = t0; kt < t1; ++kt) up_tile(kt, hb, cursor, wk);
+        for (int kt = t0; kt < t1; ++kt) {
+          up_tile(kt, hb, cursor, wk);
+          // Tree walk (see the pipelined path): interior inverted wedges
+          // fuse into the up task; only down(t0) needs the stage barrier.
+          if (fused && kt > t0) down_tile(kt, hb, cursor, wk);
+        }
       });
       pool->run([&](int wk) {
         const auto [t0, t1] = place.tiles_of(wk);
-        for (int kt = std::max(1, t0); kt < t1; ++kt)
-          down_tile(kt, hb, cursor, wk);
+        if (fused) {
+          if (t0 >= 1 && t0 < t1) down_tile(t0, hb, cursor, wk);
+        } else {
+          for (int kt = std::max(1, t0); kt < t1; ++kt)
+            down_tile(kt, hb, cursor, wk);
+        }
       });
+    } else if (fused) {
+      for (int kt = 0; kt < ntiles; ++kt) {
+        up_tile(kt, hb, cursor, -1);
+        if (kt >= 1) down_tile(kt, hb, cursor, -1);
+      }
     } else {
       for (int kt = 0; kt < ntiles; ++kt) up_tile(kt, hb, cursor, -1);
       for (int kt = 1; kt < ntiles; ++kt) down_tile(kt, hb, cursor, -1);
@@ -548,10 +601,23 @@ void tiled3d_impl(const Pattern3D& p, const FieldView3D& a, const FieldView3D& b
 
   int cursor = 0;
   if (w.blocked) {
+    // Pipelined folded runs first-touch the per-worker plane window in the
+    // prologue slot that already overlaps the first super-step — the same
+    // down(0) transitive wait orders it, so no extra sync edge and no
+    // separate pool dispatch ahead of the run (Engine::prepare only
+    // pre-sizes arenas for barrier-mode plans).
+    const bool overlap_arena = mth == Method::Ours2 && pool != nullptr &&
+                               pipelined_schedule(w, pool.get());
+    const detail::Folded3DWindowShape window_shape =
+        overlap_arena ? detail::folded3d_window_shape(plan, nx, W)
+                      : detail::Folded3DWindowShape{};
     std::function<void(int, int, int)> prologue;
-    if (overlap_layout) {
-      prologue = [&](int t0, int t1, int) {
-        if (t0 >= t1) return;
+    if (overlap_layout || overlap_arena) {
+      prologue = [&](int t0, int t1, int wk) {
+        if (overlap_arena)
+          pool->ensure_arena_local(wk, window_shape.nbufs,
+                                   window_shape.doubles);
+        if (!overlap_layout || t0 >= t1) return;
         const int z0 = t0 == 0 ? -a.halo() : t0 * w.tile;
         const int z1 = t1 * w.tile >= nz ? nz + a.halo() : t1 * w.tile;
         grid_transpose_layout_planes<W>(a, z0, z1);

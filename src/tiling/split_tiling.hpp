@@ -74,6 +74,14 @@ struct TilePlan {
   ///< `SF_PIPELINE` environment default at run time; the Engine resolves it
   ///< at prepare time instead so prepared handles are env-immune and
   ///< plan-cache keyed on the effective value.
+  int levels = 1;
+  ///< Engaged tile-tree depth this plan's geometry was negotiated at
+  ///< (core/execution_plan.hpp TileTree): 1 = flat, >= 2 = `tile` is the
+  ///< LLC-capped mid-level extent and each worker walks several tiles per
+  ///< stage instead of one. Purely descriptive for the scheduler — the
+  ///< wedge set executed is fully determined by tile/time_block/threads,
+  ///< so results are bitwise identical across depths — but the schedule
+  ///< telemetry reports tree runs separately.
 };
 
 /// \deprecated Old name of TilePlan, kept for one release. New code should

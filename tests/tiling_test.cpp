@@ -329,6 +329,9 @@ void fuzz_iteration(std::uint64_t& s, int iter) {
   const int tsteps = fz_in(s, 1, 18);
   const int time_block = fz_in(s, 0, 3) == 0 ? fz_in(s, 1, 10) : 0;
   const int threads = fz_in(s, 2, 8);
+  // Tile-tree depth: >= 2 engages the fused up/down tree walk in every
+  // schedule (serial, barrier, pipelined) — bitwise-invisible by design.
+  const int levels = fz_in(s, 1, 3);
   static const Affinity affs[] = {Affinity::None, Affinity::None,
                                   Affinity::Compact, Affinity::Scatter};
   const Affinity aff = affs[fz_in(s, 0, 3)];
@@ -337,10 +340,11 @@ void fuzz_iteration(std::uint64_t& s, int iter) {
                std::to_string(dims) + " method=" + method_name(m) +
                " tsteps=" + std::to_string(tsteps) + " tb=" +
                std::to_string(time_block) + " threads=" +
-               std::to_string(threads));
+               std::to_string(threads) + " levels=" + std::to_string(levels));
   TilePlan base;
   base.method = m;
   base.time_block = time_block;
+  base.levels = levels;
   if (dims == 1) {
     static const Preset presets[] = {Preset::Heat1D, Preset::P1D5,
                                      Preset::Apop};
@@ -378,6 +382,82 @@ void fuzz_iteration(std::uint64_t& s, int iter) {
 TEST(TiledPipeline, FuzzQuick) {
   std::uint64_t s = 0x5f5f5f5f12345678ull;
   for (int iter = 0; iter < 36; ++iter) fuzz_iteration(s, iter);
+}
+
+// Tree depth must be execution-invisible: levels 2 and 3 walk the identical
+// wedge set with the fused up/down traversal, so every (depth, schedule,
+// thread-count) combination is bitwise equal to the flat serial run — for
+// regular geometries, degenerate ones (tile > n: a single tile, i.e. a
+// one-child level at every depth), and H = 1 time blocks.
+TEST(TiledTree, DepthsBitwiseIdentical1D) {
+  const auto& spec = preset(Preset::Heat1D);
+  const int halo = require_kernel(Method::Ours2, 1).required_halo(1);
+  struct Case {
+    int n, tile, tsteps, threads;
+  };
+  for (const Case& c : {Case{700, 96, 12, 4}, Case{300, 400, 9, 3},
+                        Case{420, 10, 7, 5}}) {
+    SCOPED_TRACE("n=" + std::to_string(c.n) + " tile=" +
+                 std::to_string(c.tile));
+    TilePlan flat;
+    flat.method = Method::Ours2;
+    flat.tile = c.tile;
+    flat.threads = 1;
+    Grid1D ra(c.n, halo), rb(c.n, halo);
+    fill_random(ra, 77);
+    copy(ra, rb);
+    run_tile_plan(spec.p1, ra, rb, nullptr, nullptr, c.tsteps, flat);
+    for (int levels : {2, 3})
+      for (Pipeline pipe : {Pipeline::Off, Pipeline::On})
+        for (int threads : {1, c.threads}) {
+          SCOPED_TRACE("levels=" + std::to_string(levels) + " piped=" +
+                       std::to_string(pipe == Pipeline::On) + " threads=" +
+                       std::to_string(threads));
+          TilePlan tree = flat;
+          tree.levels = levels;
+          tree.threads = threads;
+          tree.pipeline = pipe;
+          Grid1D ta(c.n, halo), tb(c.n, halo);
+          fill_random(ta, 77);
+          copy(ta, tb);
+          run_tile_plan(spec.p1, ta, tb, nullptr, nullptr, c.tsteps, tree);
+          EXPECT_EQ(max_abs_diff(ta, ra), 0.0);
+        }
+  }
+}
+
+TEST(TiledTree, DepthsBitwiseIdentical3D) {
+  const auto& spec = preset(Preset::Heat3D);
+  const int halo = require_kernel(Method::Ours2, 3).required_halo(1);
+  struct Case {
+    int nz, tile, tsteps, threads;
+  };
+  for (const Case& c : {Case{40, 12, 10, 4}, Case{24, 64, 6, 3}}) {
+    SCOPED_TRACE("nz=" + std::to_string(c.nz) + " tile=" +
+                 std::to_string(c.tile));
+    TilePlan flat;
+    flat.method = Method::Ours2;
+    flat.tile = c.tile;
+    flat.threads = 1;
+    Grid3D ra(c.nz, 20, 16, halo), rb(c.nz, 20, 16, halo);
+    fill_random(ra, 99);
+    copy(ra, rb);
+    run_tile_plan(spec.p3, ra, rb, c.tsteps, flat);
+    for (int levels : {2, 3})
+      for (Pipeline pipe : {Pipeline::Off, Pipeline::On}) {
+        SCOPED_TRACE("levels=" + std::to_string(levels) + " piped=" +
+                     std::to_string(pipe == Pipeline::On));
+        TilePlan tree = flat;
+        tree.levels = levels;
+        tree.threads = c.threads;
+        tree.pipeline = pipe;
+        Grid3D ta(c.nz, 20, 16, halo), tb(c.nz, 20, 16, halo);
+        fill_random(ta, 99);
+        copy(ta, tb);
+        run_tile_plan(spec.p3, ta, tb, c.tsteps, tree);
+        EXPECT_EQ(max_abs_diff(ta, ra), 0.0);
+      }
+  }
 }
 
 // Acceptance sweep: all nine presets at their native dimensionality,
